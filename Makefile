@@ -1,0 +1,28 @@
+# Convenience targets for the reproduction harness.
+
+.PHONY: install test bench full-bench report tour clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Full-scale experiment sweeps (slow; writes benchmarks/results/full/).
+full-bench:
+	mkdir -p benchmarks/results/full
+	for e in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17; do \
+	  python -m repro experiment $$e --full --csv benchmarks/results/full/$$e.csv \
+	    > benchmarks/results/full/$$e.txt; \
+	done
+
+report:
+	python examples/paper_tour.py
+
+tour: report
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis

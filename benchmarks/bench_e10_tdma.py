@@ -1,0 +1,12 @@
+"""Benchmark E10 — Sect. 1 application (direct-interference-free TDMA with density-adaptive bandwidth).
+
+Regenerates the E10 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured discussion).
+"""
+
+from repro.experiments import e10_tdma
+
+
+def test_e10_tdma(record_table):
+    table = record_table("e10", lambda: e10_tdma.run(quick=True))
+    assert table.rows, "experiment produced no rows"

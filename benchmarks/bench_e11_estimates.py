@@ -1,0 +1,12 @@
+"""Benchmark E11 — sensitivity to n/Delta estimates and channel loss.
+
+Extension experiment: stresses the model's knowledge assumptions
+(Sect. 2) and injects fading loss beyond collisions.
+"""
+
+from repro.experiments import e11_estimates
+
+
+def test_e11_estimates(record_table):
+    table = record_table("e11", lambda: e11_estimates.run(quick=True))
+    assert table.rows, "experiment produced no rows"

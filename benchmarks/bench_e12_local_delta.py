@@ -1,0 +1,12 @@
+"""Benchmark E12 — locally parameterized Delta (Sect. 6 future work).
+
+Extension experiment: oracle-based exploration of the paper's concluding
+open problem — using local max degree instead of the global estimate.
+"""
+
+from repro.experiments import e12_local_delta
+
+
+def test_e12_local_delta(record_table):
+    table = record_table("e12", lambda: e12_local_delta.run(quick=True))
+    assert table.rows, "experiment produced no rows"

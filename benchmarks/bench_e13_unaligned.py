@@ -1,0 +1,12 @@
+"""Benchmark E13 — non-aligned slots (Sect. 2 robustness claim).
+
+Extension experiment: measures the "small constant factor" the paper
+asserts for the practical non-aligned case.
+"""
+
+from repro.experiments import e13_unaligned
+
+
+def test_e13_unaligned(record_table):
+    table = record_table("e13", lambda: e13_unaligned.run(quick=True))
+    assert table.rows, "experiment produced no rows"

@@ -1,0 +1,13 @@
+"""Benchmark E14 — energy-latency trade-off of initialization.
+
+Extension experiment in the spirit of the paper's reference [19]: how
+the constant scale trades transmissions per node against decision
+latency and correctness.
+"""
+
+from repro.experiments import e14_energy
+
+
+def test_e14_energy(record_table):
+    table = record_table("e14", lambda: e14_energy.run(quick=True))
+    assert table.rows, "experiment produced no rows"

@@ -1,0 +1,13 @@
+"""Benchmark E15 — incremental joins into an already-colored network.
+
+Extension experiment: the asynchronous wake-up model handles late
+arrivals natively; measures joiner decision times and combined
+correctness.
+"""
+
+from repro.experiments import e15_incremental
+
+
+def test_e15_incremental(record_table):
+    table = record_table("e15", lambda: e15_incremental.run(quick=True))
+    assert table.rows, "experiment produced no rows"

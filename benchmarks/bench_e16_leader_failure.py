@@ -1,0 +1,12 @@
+"""Benchmark E16 — leader-failure blast radius (negative-space probe).
+
+Extension experiment: quantifies the no-failures assumption for
+adopters (nodes stuck in R when their leader dies).
+"""
+
+from repro.experiments import e16_leader_failure
+
+
+def test_e16_leader_failure(record_table):
+    table = record_table("e16", lambda: e16_leader_failure.run(quick=True))
+    assert table.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Benchmark E17 — channel-count ablation of the model.
+
+Extension experiment: quantifies Sect. 2's single-channel assumption at
+the algorithm's duty cycle vs a saturated channel.
+"""
+
+from repro.experiments import e17_channels
+
+
+def test_e17_channels(record_table):
+    table = record_table("e17", lambda: e17_channels.run(quick=True))
+    assert table.rows, "experiment produced no rows"

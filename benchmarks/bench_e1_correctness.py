@@ -1,0 +1,12 @@
+"""Benchmark E1 — Theorem 2 + Theorem 5 (correct + complete colorings across wake-up patterns).
+
+Regenerates the E1 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured discussion).
+"""
+
+from repro.experiments import e1_correctness
+
+
+def test_e1_correctness(record_table):
+    table = record_table("e1", lambda: e1_correctness.run(quick=True))
+    assert table.rows, "experiment produced no rows"

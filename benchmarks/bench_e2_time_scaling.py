@@ -1,0 +1,12 @@
+"""Benchmark E2 — Theorem 3 / Corollary 2 (decide time ~ Delta log n on UDGs).
+
+Regenerates the E2 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured discussion).
+"""
+
+from repro.experiments import e2_time_scaling
+
+
+def test_e2_time_scaling(record_table):
+    table = record_table("e2", lambda: e2_time_scaling.run(quick=True))
+    assert table.rows, "experiment produced no rows"

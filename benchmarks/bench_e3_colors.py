@@ -1,0 +1,12 @@
+"""Benchmark E3 — Theorem 5 / Corollary 2 (at most kappa2*Delta colors; O(Delta) on UDGs).
+
+Regenerates the E3 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured discussion).
+"""
+
+from repro.experiments import e3_colors
+
+
+def test_e3_colors(record_table):
+    table = record_table("e3", lambda: e3_colors.run(quick=True))
+    assert table.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Benchmark E4 — Theorem 4 (highest local color depends only on local density).
+
+Regenerates the E4 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured discussion).
+"""
+
+from repro.experiments import e4_locality
+
+
+def test_e4_locality(record_table):
+    table = record_table("e4", lambda: e4_locality.run(quick=True))
+    assert table.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Benchmark E5 — Sect. 2 + Lemma 1 + Lemma 9 (kappa bounds across graph models).
+
+Regenerates the E5 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured discussion).
+"""
+
+from repro.experiments import e5_kappa
+
+
+def test_e5_kappa(record_table):
+    table = record_table("e5", lambda: e5_kappa.run(quick=True))
+    assert table.rows, "experiment produced no rows"

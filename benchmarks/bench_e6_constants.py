@@ -1,0 +1,12 @@
+"""Benchmark E6 — Sect. 4 simulation remark (significantly smaller constants suffice).
+
+Regenerates the E6 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured discussion).
+"""
+
+from repro.experiments import e6_constants
+
+
+def test_e6_constants(record_table):
+    table = record_table("e6", lambda: e6_constants.run(quick=True))
+    assert table.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Benchmark E7 — Sect. 2 (robust to every wake-up pattern).
+
+Regenerates the E7 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured discussion).
+"""
+
+from repro.experiments import e7_wakeup
+
+
+def test_e7_wakeup(record_table):
+    table = record_table("e7", lambda: e7_wakeup.run(quick=True))
+    assert table.rows, "experiment produced no rows"

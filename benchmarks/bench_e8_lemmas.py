@@ -1,0 +1,12 @@
+"""Benchmark E8 — Lemmas 2-4, 6, 8 + Corollary 1 (analysis building blocks hold empirically).
+
+Regenerates the E8 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured discussion).
+"""
+
+from repro.experiments import e8_lemmas
+
+
+def test_e8_lemmas(record_table):
+    table = record_table("e8", lambda: e8_lemmas.run(quick=True))
+    assert table.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Benchmark E9 — Sect. 3 (comparison vs naive reset, Busch-style frames, Luby message passing).
+
+Regenerates the E9 table (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured discussion).
+"""
+
+from repro.experiments import e9_baselines
+
+
+def test_e9_baselines(record_table):
+    table = record_table("e9", lambda: e9_baselines.run(quick=True))
+    assert table.rows, "experiment produced no rows"

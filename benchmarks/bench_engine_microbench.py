@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Not a paper table — these track the engine's raw throughput (slots/sec)
+and the protocol's end-to-end cost so performance regressions in the hot
+path (transmitter-centric collision resolution, lazy counters, geometric
+transmission skips) are caught.  The HPC guides' rule: no optimization
+without measurement — this is the measurement.
+"""
+
+import numpy as np
+
+from repro.core import Parameters, run_coloring
+from repro.core.protocol import build_simulator
+from repro.graphs import random_udg
+
+
+def test_engine_slot_throughput(benchmark):
+    """Slots/second with a full protocol population (idle-heavy load)."""
+    dep = random_udg(100, expected_degree=12, seed=1, connected=True)
+    params = Parameters.for_deployment(dep)
+
+    def run_slots():
+        sim, _ = build_simulator(dep, params, seed=2)
+        for _ in range(2000):
+            sim.step()
+        return sim.slot
+
+    slots = benchmark(run_slots)
+    assert slots == 2000
+
+
+def test_full_coloring_run(benchmark):
+    """End-to-end protocol cost on a mid-size UDG."""
+    dep = random_udg(60, expected_degree=10, seed=4, connected=True)
+
+    result = benchmark.pedantic(
+        lambda: run_coloring(dep, seed=44), rounds=1, iterations=1
+    )
+    assert result.completed
+
+
+def test_kappa_computation(benchmark):
+    """Exact kappa_1/kappa_2 measurement cost (branch-and-bound MIS)."""
+    from repro.graphs import kappas
+
+    dep = random_udg(150, expected_degree=14, seed=9, connected=True)
+    k1, k2 = benchmark(lambda: kappas(dep))
+    assert 1 <= k1 <= 5 and k1 <= k2 <= 18
+
+
+def test_batch_beacon_throughput(benchmark):
+    """Vectorized Monte-Carlo throughput (slots x nodes per second)."""
+    import numpy as np
+
+    from repro.radio.batch import simulate_beacons
+
+    dep = random_udg(100, expected_degree=12, seed=3, connected=True)
+    probs = np.full(dep.n, 1 / 80)
+
+    res = benchmark(lambda: simulate_beacons(dep, probs, 5000, seed=6))
+    assert res.slots == 5000
+
+
+def test_unaligned_engine_throughput(benchmark):
+    """Non-aligned-slots engine cost relative to the aligned engine."""
+    from repro.core.protocol import build_simulator
+
+    dep = random_udg(100, expected_degree=12, seed=1, connected=True)
+    params = Parameters.for_deployment(dep)
+
+    def run_slots():
+        sim, _ = build_simulator(dep, params, seed=2, unaligned=True)
+        for _ in range(2000):
+            sim.step()
+        return sim.slot
+
+    slots = benchmark(run_slots)
+    assert slots == 2000
+
+
+def test_large_network_soak(benchmark):
+    """Scale check: a 250-node protocol run, verified end to end."""
+    from repro.analysis import verify_run
+
+    dep = random_udg(250, expected_degree=14, seed=12, connected=True)
+
+    result = benchmark.pedantic(
+        lambda: run_coloring(dep, seed=121), rounds=1, iterations=1
+    )
+    assert result.completed
+    assert verify_run(result).ok

@@ -1,0 +1,37 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_eN_*.py`` regenerates one experiment table (the evidence
+for one paper claim; see DESIGN.md's experiment index), times it with
+pytest-benchmark, prints it, and archives it under
+``benchmarks/results/`` so EXPERIMENTS.md can reference stable outputs.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table(benchmark):
+    """Benchmark an experiment's ``run`` callable once (the experiments are
+    multi-second sweeps; repeated timing rounds would add nothing), print
+    the regenerated table, and archive it."""
+
+    def _record(name: str, fn):
+        table = benchmark.pedantic(fn, rounds=1, iterations=1)
+        text = table.render()
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        return table
+
+    return _record

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Asynchronous wake-up in action — the model's defining difficulty.
+
+Runs the protocol on one deployment under every wake-up pattern the
+library ships, from synchronous start to the adversarial pattern where
+no two neighbors ever wake together, and shows that per-node decision
+times (measured from each node's *own* wake-up, the paper's T_v) are
+essentially schedule-independent.
+
+Run:  python examples/asynchronous_wakeup.py
+"""
+
+from repro import run_coloring
+from repro.analysis import verify_run
+from repro.graphs import random_udg
+from repro.wakeup import ALL_SCHEDULES
+
+
+def main() -> None:
+    dep = random_udg(70, expected_degree=10, seed=13, connected=True)
+    print(f"deployment: {dep.describe()}\n")
+    print(f"{'schedule':<22}{'wake span':>10}{'total slots':>13}"
+          f"{'T_mean':>9}{'T_max':>8}  verdict")
+
+    for name in sorted(ALL_SCHEDULES):
+        wake = ALL_SCHEDULES[name](dep, seed=2)
+        result = run_coloring(dep, wake_slots=wake, seed=31)
+        times = result.decision_times()
+        verdict = "ok" if verify_run(result).ok else "FAILED (whp)"
+        print(
+            f"{name:<22}{int(wake.max() - wake.min()):>10}{result.slots:>13}"
+            f"{times.mean():>9.0f}{times.max():>8}  {verdict}"
+        )
+
+    print(
+        "\nTotal slots track the wake-up span (someone has to be awake to"
+        "\ndecide), but T_mean/T_max per node stay in the same band: no"
+        "\nschedule starves anyone — the guarantee Sect. 2 demands."
+    )
+
+
+if __name__ == "__main__":
+    main()

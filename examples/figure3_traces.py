@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Observe Figure 3 of the paper: counters, critical ranges, and resets.
+
+The paper's Fig. 3 is a schematic of the Lemma 7 argument — a successful
+transmitter climbs uninterrupted to the threshold while its competitors'
+counters get reset out of the critical range.  This example runs the
+real protocol, probes the counters of the densest node's neighborhood
+in state A_0, and renders the trajectories as sparklines: you can see
+the eventual leader's straight climb and its neighbors' sawtooth resets.
+
+Run:  python examples/figure3_traces.py
+"""
+
+from repro.analysis.probes import record_counter_trajectories
+from repro.analysis.render import sparkline
+from repro.core import Parameters
+from repro.graphs import random_udg
+
+
+def main() -> None:
+    dep = random_udg(60, expected_degree=10, seed=21, connected=True)
+    params = Parameters.for_deployment(dep)
+    print(f"deployment: {dep.describe()}")
+    print(
+        f"threshold={params.threshold}, critical range (A_0)="
+        f"{params.critical_range(0)}, wait={params.wait_slots}\n"
+    )
+
+    trajs = record_counter_trajectories(dep, params=params, seed=4)
+    width = 60
+    print(f"{'node':>5} {'resets':>7} {'outcome':>8}  counter trajectory in A_0 "
+          f"(left=activation; ▁=low, █=high)")
+    for v, tr in sorted(trajs.items()):
+        if not tr.counters:
+            print(f"{v:>5} {'-':>7} {tr.final_state:>8}  "
+                  f"(never active in A_0 — covered while waiting)")
+            continue
+        print(f"{v:>5} {len(tr.reset_slots):>7} {tr.final_state:>8}  "
+              f"{sparkline(tr.counters, width=width)}")
+
+    winners = sorted(v for v, tr in trajs.items() if tr.final_state == "C_0")
+    print(f"\nprobed nodes that became leaders: {winners}")
+    print(
+        "The winner's line climbs monotonically once it 'transmits "
+        "successfully';\nevery competitor shows the characteristic "
+        "sawtooth — reset to chi(P_v) < 0,\nclimb, reset again — until "
+        "an M_C^0 removes it from the competition."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Network atlas: a terminal dashboard of one protocol run.
+
+Renders (as text — the whole library is plot-free by design):
+
+1. the deployment's density map;
+2. the highest-color map (Theorem 4's locality made visible: bright
+   cells only where the deployment is dense);
+3. the decision-time histogram;
+4. the convergence sparkline (fraction decided over time).
+
+Run:  python examples/network_atlas.py
+"""
+
+import numpy as np
+
+from repro import run_coloring
+from repro.analysis import decided_curve, locality_stats
+from repro.analysis.render import ascii_deployment, ascii_histogram, sparkline
+from repro.graphs import clustered_udg
+
+
+def main() -> None:
+    dep = clustered_udg(4, 16, background=25, side=16.0, seed=12)
+    print(f"deployment: {dep.describe()}\n")
+
+    print("— density map " + "—" * 45)
+    print(ascii_deployment(dep, width=60, height=16))
+
+    result = run_coloring(dep, seed=120)
+    if not (result.completed and result.proper):
+        raise SystemExit("run failed (w.h.p. guarantee) — re-seed")
+
+    ls = locality_stats(result)
+    print("\n— highest color in each node's neighborhood (phi_v) " + "—" * 8)
+    print(ascii_deployment(dep, values=ls["phi"].astype(float), width=60, height=16))
+    print(
+        f"\nbright cells = high local colors; they coincide with the dense "
+        f"clusters\n(max phi/theta = {ls['max_ratio']:.2f}, kappa2 = {ls['kappa2']})"
+    )
+
+    times = result.decision_times().astype(float)
+    print("\n" + ascii_histogram(times, bins=8, label="decision time (slots)"))
+
+    slots, frac = decided_curve(result.trace, horizon=result.slots, step=max(1, result.slots // 120))
+    print("\nconvergence (fraction decided over time):")
+    print("  " + sparkline(frac, width=70))
+    print(f"  0 {'.' * 62} {result.slots} slots")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Beyond unit disks: coloring under obstacles and fading (Fig. 1).
+
+The BIG model's selling point is that walls, shielding, and irregular
+propagation do not break the algorithm — they only (slightly) change
+kappa_1/kappa_2, and all guarantees are parameterized by those.  This
+example builds three variants of the same office-floor deployment:
+
+- a plain UDG,
+- the same geometry with two interior walls blocking links,
+- the same geometry with 30% long-term link fading,
+
+measures their kappas, and colors each.
+
+Run:  python examples/obstacles_and_fading.py
+"""
+
+from repro import run_coloring
+from repro.graphs import bernoulli_fading, kappas, random_udg, wall_obstacle_udg
+
+
+def report(name: str, dep, seed: int) -> None:
+    k1, k2 = kappas(dep)
+    result = run_coloring(dep, seed=seed)
+    status = "ok" if (result.completed and result.proper) else "FAILED (whp)"
+    print(
+        f"{name:<12} n={dep.n:<4} m={dep.m:<5} Delta={dep.max_degree:<3} "
+        f"kappa1={k1:<2} kappa2={k2:<3} -> {result.num_colors:>3} colors, "
+        f"max {result.max_color:>3}, {result.slots:>6} slots  [{status}]"
+    )
+
+
+def main() -> None:
+    side, n, radius = 9.0, 90, 1.2
+    print(f"office floor: {n} nodes on {side}x{side}, radio range {radius}\n")
+
+    plain = random_udg(n, radius=radius, side=side, seed=5)
+    report("plain UDG", plain, seed=21)
+
+    walls = [
+        ((3.0, 0.0), (3.0, 6.0)),   # vertical wall with a gap at the top
+        ((3.0, 7.5), (3.0, 9.0)),
+        ((6.0, 3.0), (9.0, 3.0)),   # horizontal wall
+    ]
+    walled = wall_obstacle_udg(n, radius=radius, side=side, walls=walls, seed=5)
+    print(f"(walls block {walled.meta['blocked']} links)")
+    report("with walls", walled, seed=22)
+
+    faded = bernoulli_fading(plain, erase_prob=0.3, seed=6)
+    report("30% fading", faded, seed=23)
+
+    print(
+        "\nNote how the kappas stay small under both distortions — the\n"
+        "paper's Sect. 2 point: 'walls and other obstacles typically cause\n"
+        "only small increases in kappa_1 or kappa_2', and every guarantee\n"
+        "degrades gracefully with them."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Reproduce the paper in one command.
+
+Runs every experiment (E1-E10 regenerate the paper's claims; E11-E16
+are extensions) in its quick configuration and writes a consolidated
+markdown report.  With ``--full`` the slow sweeps run instead (budget
+half an hour or more).
+
+Run:  python examples/paper_tour.py [--full] [--seeds K] [--out report.md]
+      python examples/paper_tour.py --only e1_correctness e6_constants
+"""
+
+import argparse
+import pathlib
+import sys
+
+from repro.experiments.report import EXPERIMENT_ORDER, generate_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="run the full sweeps")
+    parser.add_argument("--seeds", type=int, default=None)
+    parser.add_argument("--out", default="reproduction_report.md")
+    parser.add_argument(
+        "--only", nargs="*", choices=EXPERIMENT_ORDER, default=None,
+        help="restrict to specific experiments",
+    )
+    args = parser.parse_args(argv)
+
+    def progress(name, seconds, table):
+        ok_cols = [c for c in table.columns() if "rate" in c or c == "holds"]
+        print(f"[{seconds:6.1f}s] {name:<22} rows={len(table.rows)} "
+              f"({', '.join(ok_cols[:3])})")
+
+    print(f"running {'FULL' if args.full else 'quick'} reproduction tour...\n")
+    report = generate_report(
+        quick=not args.full, seeds=args.seeds, only=args.only, progress=progress
+    )
+    out = pathlib.Path(args.out)
+    out.write_text(report)
+    print(f"\nreport written to {out} ({len(report.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Sensor-network TDMA bring-up — the paper's motivating application.
+
+Scenario: sensors are dropped in clusters (dense monitoring hotspots)
+over a sparse backbone.  The network must self-organize a MAC layer with
+no pre-existing infrastructure:
+
+1. nodes wake asynchronously (a deployment wave) and run the coloring
+   protocol from scratch;
+2. colors become TDMA slots: zero direct interference by construction;
+3. bandwidth is density-adaptive — backbone nodes in sparse areas cycle
+   short local frames, exactly the property Theorem 4 guarantees.
+
+Run:  python examples/sensor_tdma.py
+"""
+
+import numpy as np
+
+from repro import run_coloring
+from repro.graphs import clustered_udg, kappa1
+from repro.tdma import build_schedule, simulate_frame
+from repro.wakeup import bfs_wave
+
+
+def main() -> None:
+    n_clusters, per_cluster, background = 4, 15, 20
+    dep = clustered_udg(
+        n_clusters, per_cluster, background=background, side=14.0, seed=3
+    )
+    print(f"deployment: {dep.describe()}")
+    n_cluster_nodes = n_clusters * per_cluster
+
+    # Deployment wave: nodes wake as the install crew sweeps the field.
+    wake = bfs_wave(dep, gap=40, seed=1)
+    print(f"wake-up spans {wake.max() - wake.min()} slots (BFS wave)")
+
+    result = run_coloring(dep, wake_slots=wake, seed=11)
+    if not (result.completed and result.proper):
+        raise SystemExit("protocol run failed (w.h.p. guarantee) — re-seed")
+    print(f"colored in {result.slots} slots, {result.num_colors} distinct colors")
+
+    schedule = build_schedule(dep, result.colors)
+    stats = schedule.stats()
+    print("\nTDMA schedule:")
+    print(f"  global frame length: {stats['frame_length']} slots")
+    print(f"  direct interference pairs: {stats['direct_interference']} (must be 0)")
+    print(f"  worst simultaneous interferers at a receiver: "
+          f"{stats['max_interferers']} (bound: kappa1 = {kappa1(dep)})")
+
+    bw = schedule.bandwidth_share
+    print("\ndensity-adaptive bandwidth (Theorem 4 locality):")
+    print(f"  cluster nodes:    mean airtime share {bw[:n_cluster_nodes].mean():.3f}")
+    print(f"  backbone nodes:   mean airtime share {bw[n_cluster_nodes:].mean():.3f}")
+
+    frame = simulate_frame(schedule)
+    print("\none simulated TDMA frame under the radio model:")
+    print(f"  deliveries: {frame['delivered']}, "
+          f"2-hop interference losses: {frame['interfered']}")
+    heard = frame["heard_per_node"]
+    print(f"  every node heard at least one neighbor slot: "
+          f"{bool((heard[np.array([dep.degree(v) > 1 for v in range(dep.n)])] > 0).all())}")
+
+
+if __name__ == "__main__":
+    main()

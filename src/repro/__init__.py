@@ -1,0 +1,47 @@
+"""repro — a reproduction of Moscibroda & Wattenhofer,
+*Coloring Unstructured Radio Networks* (SPAA 2005 / Distributed
+Computing 2008).
+
+The package implements, from scratch:
+
+- the unstructured radio network model (:mod:`repro.radio`): slotted
+  single-channel radio, no collision detection, asynchronous wake-up;
+- graph models (:mod:`repro.graphs`): unit disk graphs, bounded
+  independence graphs with obstacles/fading, unit ball graphs over
+  doubling metrics, and exact ``kappa_1``/``kappa_2`` computation;
+- the randomized coloring algorithm itself (:mod:`repro.core`):
+  leader election, intra-cluster colors, and counter/critical-range
+  verification (Algorithms 1-3 of the paper);
+- baselines (:mod:`repro.baselines`), analysis tools
+  (:mod:`repro.analysis`), a TDMA application layer (:mod:`repro.tdma`),
+  wake-up patterns (:mod:`repro.wakeup`), and the experiment harness
+  (:mod:`repro.experiments`) that regenerates every claim of the paper.
+
+Quickstart::
+
+    from repro import run_coloring
+    from repro.graphs import random_udg
+
+    dep = random_udg(100, expected_degree=12, seed=1, connected=True)
+    result = run_coloring(dep, seed=2)
+    print(result.summary())
+"""
+
+from repro.core import (
+    UNDECIDED,
+    ColoringResult,
+    Parameters,
+    paper_time_bound,
+    run_coloring,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UNDECIDED",
+    "ColoringResult",
+    "Parameters",
+    "paper_time_bound",
+    "run_coloring",
+    "__version__",
+]

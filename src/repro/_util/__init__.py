@@ -1,0 +1,32 @@
+"""Internal utility substrate shared by all subsystems.
+
+Nothing in here is specific to the coloring algorithm; these are the
+numerical and bookkeeping primitives the rest of the library builds on:
+
+- :mod:`repro._util.rng` — seeded random-number management so that every
+  simulation is exactly reproducible from a single integer seed;
+- :mod:`repro._util.mathx` — `ceil(c * log2 n)`-style helpers used by the
+  algorithm's thresholds, plus Fact 1 of the paper;
+- :mod:`repro._util.intervals` — integer-interval arithmetic used to
+  compute the counter-reset value ``chi(P_v)`` (Algorithm 1, Line 15).
+"""
+
+from repro._util.intervals import IntegerIntervalSet, max_value_outside
+from repro._util.mathx import (
+    ceil_log,
+    fact1_bounds,
+    fact1_holds,
+    log2n,
+)
+from repro._util.rng import RngStream, spawn_generator
+
+__all__ = [
+    "IntegerIntervalSet",
+    "RngStream",
+    "ceil_log",
+    "fact1_bounds",
+    "fact1_holds",
+    "log2n",
+    "max_value_outside",
+    "spawn_generator",
+]

@@ -1,0 +1,95 @@
+"""Integer-interval arithmetic for the counter-reset value ``chi(P_v)``.
+
+Algorithm 1, Line 15 defines::
+
+    chi(P_v) := the maximum value <= 0 such that for every competitor w in
+                P_v, chi(P_v) is NOT within the critical range
+                [d_v(w) - G, ..., d_v(w) + G],   where G = ceil(gamma * zeta_i * log n).
+
+So ``chi`` is the largest non-positive integer outside a union of closed
+integer intervals.  :class:`IntegerIntervalSet` maintains such a union in
+normalized (sorted, disjoint) form and :func:`max_value_outside` answers
+the query in ``O(k log k)`` for ``k`` intervals — ``k`` is at most the
+competitor-list size, i.e. ``Delta`` in state ``A_0`` and ``kappa_2``
+otherwise (Lemma 5), so this is cheap.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = ["IntegerIntervalSet", "max_value_outside"]
+
+
+class IntegerIntervalSet:
+    """A union of closed integer intervals ``[lo, hi]`` in normalized form.
+
+    Intervals are merged eagerly on construction; adjacent intervals
+    (``hi + 1 == next_lo``) merge too, because over the integers they cover
+    a contiguous range.
+
+    >>> s = IntegerIntervalSet([(0, 3), (5, 9), (4, 4)])
+    >>> s.intervals
+    [(0, 9)]
+    >>> s.contains(7), s.contains(-1)
+    (True, False)
+    """
+
+    __slots__ = ("intervals",)
+
+    def __init__(self, intervals: Iterable[tuple[int, int]] = ()) -> None:
+        items = sorted((int(lo), int(hi)) for lo, hi in intervals if lo <= hi)
+        merged: list[tuple[int, int]] = []
+        for lo, hi in items:
+            if merged and lo <= merged[-1][1] + 1:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        self.intervals = merged
+
+    def contains(self, x: int) -> bool:
+        """Binary search membership test."""
+        lo, hi = 0, len(self.intervals)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            a, b = self.intervals[mid]
+            if x < a:
+                hi = mid
+            elif x > b:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IntegerIntervalSet({self.intervals!r})"
+
+
+def max_value_outside(
+    intervals: Iterable[tuple[int, int]], upper: int = 0
+) -> int:
+    """Largest integer ``x <= upper`` not covered by any given interval.
+
+    This is exactly ``chi(P_v)`` with ``upper = 0`` and the intervals being
+    the critical ranges around the locally-stored competitor counters.
+
+    >>> max_value_outside([(-3, 0)])
+    -4
+    >>> max_value_outside([(-10, -5), (-2, 1)])
+    -3
+    >>> max_value_outside([])
+    0
+    """
+    covered = IntegerIntervalSet(intervals)
+    x = int(upper)
+    # Walk down past any interval covering the candidate.  Each interval is
+    # skipped at most once, so this is O(k) after normalization.
+    for lo, hi in reversed(covered.intervals):
+        if x > hi:
+            break
+        if lo <= x <= hi:
+            x = lo - 1
+    return x

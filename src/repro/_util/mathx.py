@@ -1,0 +1,72 @@
+"""Small mathematical helpers used throughout the reproduction.
+
+The paper's thresholds are all of the form ``ceil(c * log n)`` for various
+constants ``c``; :func:`ceil_log` centralizes that so the algorithm code
+reads like the pseudocode.  ``log`` here is the natural logarithm — the
+paper never fixes a base (it only affects constants), and the analysis
+(e.g. the ``n^{-5}`` bounds in Lemmas 2–4) is carried out with ``e`` as
+the base via Fact 1, so we follow that convention.
+
+Fact 1 of the paper,
+
+    e^t (1 - t^2 / n) <= (1 + t/n)^n <= e^t     for n >= 1, |t| <= n,
+
+is exposed both as a checker (used by property tests) and as a pair of
+bound functions (used by the theory-bound calculators in
+:mod:`repro.analysis.theory`).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ceil_log", "log2n", "fact1_bounds", "fact1_holds"]
+
+
+def log2n(n: int | float) -> float:
+    """Natural log of ``n``, floored at 1.0 so tiny networks keep positive
+    thresholds (``log 2 < 1`` would otherwise make ``ceil(c log n)`` collapse
+    for n <= 2 and some c < 1)."""
+    if n <= 1:
+        return 1.0
+    return max(1.0, math.log(n))
+
+
+def ceil_log(c: float, n: int | float) -> int:
+    """``ceil(c * log n)`` with the :func:`log2n` floor, never below 1.
+
+    This is the shape of every waiting period / critical range / threshold
+    in Algorithms 1–3 (e.g. ``ceil(alpha * Delta * log n)`` is written
+    ``ceil_log(alpha * Delta, n)``).
+    """
+    return max(1, math.ceil(c * log2n(n)))
+
+
+def fact1_bounds(t: float, n: float) -> tuple[float, float]:
+    """Return ``(lower, upper)`` of Fact 1 for ``(1 + t/n)^n``.
+
+    Raises
+    ------
+    ValueError
+        If the preconditions ``n >= 1`` and ``|t| <= n`` are violated.
+    """
+    if n < 1:
+        raise ValueError(f"Fact 1 requires n >= 1, got n={n}")
+    if abs(t) > n:
+        raise ValueError(f"Fact 1 requires |t| <= n, got t={t}, n={n}")
+    et = math.exp(t)
+    return et * (1.0 - t * t / n), et
+
+
+def fact1_holds(t: float, n: float) -> bool:
+    """Check Fact 1 numerically for a given ``(t, n)`` pair.
+
+    A tiny relative tolerance absorbs floating-point rounding; the
+    inequality itself is exact over the reals.
+    """
+    lo, hi = fact1_bounds(t, n)
+    mid = (1.0 + t / n) ** n
+    # Rounding error of x**n accumulates roughly linearly in n (one ulp per
+    # multiplication in the worst case), so scale the tolerance with n.
+    eps = (4.0 * n + 16.0) * math.ulp(max(1.0, abs(mid)))
+    return lo - eps <= mid <= hi + eps

@@ -1,0 +1,62 @@
+"""Analysis tools: verification, metrics, and theory-bound calculators.
+
+- :mod:`repro.analysis.verify` — machine-checks of the paper's
+  correctness/completeness claims on concrete runs (Theorem 2's
+  at-all-times independence, leader maximality, Corollary 1's state
+  counts);
+- :mod:`repro.analysis.metrics` — color, locality (Theorem 4), time
+  (Theorem 3), and message statistics extracted from results;
+- :mod:`repro.analysis.theory` — the closed-form bounds of Lemmas 2-4
+  and Theorems 3-5, for "paper vs measured" columns in EXPERIMENTS.md.
+"""
+
+from repro.analysis.convergence import coverage_slot_of_fraction, decided_curve
+from repro.analysis.metrics import (
+    color_stats,
+    interference_profile,
+    locality_stats,
+    message_stats,
+    state_stats,
+    time_stats,
+)
+from repro.analysis.theory import (
+    lemma2_delivery_bound,
+    lemma3_delivery_bound,
+    lemma4_success_bound,
+    theorem3_time_bound,
+    theorem5_color_bound,
+)
+from repro.analysis.timeline import StateInterval, sojourn_times, state_timelines
+from repro.analysis.verify import (
+    VerificationReport,
+    check_completeness,
+    check_independence_over_time,
+    check_leader_set,
+    check_proper_coloring,
+    verify_run,
+)
+
+__all__ = [
+    "VerificationReport",
+    "check_completeness",
+    "check_independence_over_time",
+    "check_leader_set",
+    "check_proper_coloring",
+    "color_stats",
+    "coverage_slot_of_fraction",
+    "decided_curve",
+    "interference_profile",
+    "lemma2_delivery_bound",
+    "lemma3_delivery_bound",
+    "lemma4_success_bound",
+    "locality_stats",
+    "sojourn_times",
+    "state_timelines",
+    "StateInterval",
+    "message_stats",
+    "state_stats",
+    "theorem3_time_bound",
+    "theorem5_color_bound",
+    "time_stats",
+    "verify_run",
+]

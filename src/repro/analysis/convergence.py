@@ -1,0 +1,47 @@
+"""Convergence curves: how a run progresses over time.
+
+The paper's theorems bound the endpoint (every node decided by
+O(κ₂⁴ Δ log n)); the *trajectory* — what fraction of the network is
+decided/covered at each point — is what a practitioner watches during
+bring-up and what the E14 energy-latency experiment integrates over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.radio.trace import TraceRecorder
+
+__all__ = ["decided_curve", "coverage_slot_of_fraction"]
+
+
+def decided_curve(
+    trace: TraceRecorder, horizon: int, step: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fraction of nodes decided at slots ``0, step, 2*step, ... < horizon``.
+
+    Returns ``(slots, fraction)`` arrays.  Nodes that never decided count
+    as undecided throughout.
+    """
+    if step < 1:
+        raise ValueError("step must be >= 1")
+    slots = np.arange(0, max(horizon, 1), step, dtype=np.int64)
+    decide = trace.decide_slot
+    decided = decide[decide >= 0]
+    if decided.size == 0:
+        return slots, np.zeros(slots.size)
+    counts = np.searchsorted(np.sort(decided), slots, side="right")
+    return slots, counts / trace.n
+
+
+def coverage_slot_of_fraction(trace: TraceRecorder, fraction: float) -> int:
+    """First slot by which at least ``fraction`` of all nodes decided,
+    or -1 if the run never reached it."""
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    decide = trace.decide_slot
+    decided = np.sort(decide[decide >= 0])
+    need = int(np.ceil(fraction * trace.n))
+    if decided.size < need:
+        return -1
+    return int(decided[need - 1])

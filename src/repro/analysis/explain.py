@@ -1,0 +1,95 @@
+"""Human-readable run narration: what happened to node v, and when.
+
+Debugging a distributed randomized protocol from raw traces is painful;
+:func:`explain_node` turns one node's trace into a story::
+
+    slot    812  woke up, entered A_0 (leader election)
+    slot   2203  heard leader 17 -> state R, requesting intra-cluster color
+    slot   2460  assigned tc=3 by leader 17 -> verifying color 12 (A_12)
+    slot   5127  decided color 12 (C_12), 4315 slots after waking
+
+and :func:`explain_run` summarizes the whole execution phase by phase.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.timeline import state_timelines
+
+__all__ = ["explain_node", "explain_run"]
+
+
+def _state_story(label: str, params) -> str:
+    if label == "A_0":
+        return "entered A_0 (leader election)"
+    if label == "R":
+        return "-> state R, requesting intra-cluster color from its leader"
+    if label.startswith("A_"):
+        return f"verifying color {label.split('_')[1]} ({label})"
+    if label == "C_0":
+        return "became a LEADER (C_0): announces and assigns intra-cluster colors"
+    if label.startswith("C_"):
+        return f"decided color {label.split('_')[1]} ({label})"
+    return label
+
+
+def explain_node(result, v: int) -> str:
+    """Narrate node ``v``'s path through one run (a ColoringResult)."""
+    if not 0 <= v < result.deployment.n:
+        raise ValueError(f"node {v} out of range")
+    tr = result.trace
+    node = result.nodes[v] if result.nodes else None
+    lines = [f"node {v} (degree {result.deployment.degree(v)})"]
+    wake = int(tr.wake_slot[v])
+    lines.append(f"  slot {wake:>7}  woke up, {_state_story('A_0', result.params)}")
+    timelines = state_timelines(tr).get(v, [])
+    for iv in timelines[1:]:
+        extra = ""
+        if iv.state == "R" and node is not None and node.leader is not None:
+            extra = f" (leader {node.leader})"
+        if iv.state.startswith("A_") and iv.state != "A_0" and node is not None and node.tc is not None:
+            extra = f" (intra-cluster color tc={node.tc})"
+        lines.append(f"  slot {iv.entry_slot:>7}  {_state_story(iv.state, result.params)}{extra}")
+    decide = int(tr.decide_slot[v])
+    if decide >= 0:
+        lines.append(
+            f"  slot {decide:>7}  final decision, {decide - wake} slots after waking"
+        )
+        if node is not None and node.resets:
+            lines.append(f"  (took {node.resets} counter resets along the way)")
+    else:
+        lines.append("  never decided (run capped or starved)")
+    return "\n".join(lines)
+
+
+def explain_run(result) -> str:
+    """One-paragraph-per-phase summary of a whole run."""
+    tr = result.trace
+    n = result.deployment.n
+    decided = tr.decide_slot[tr.decide_slot >= 0]
+    leaders = int((result.colors == 0).sum())
+    lines = [
+        f"run over {n} nodes, {result.slots} slots "
+        f"({'completed' if result.completed else 'CAPPED'})",
+        f"  wake-up: slots {int(tr.wake_slot.min())}..{int(tr.wake_slot.max())}",
+    ]
+    if decided.size:
+        first, last = int(decided.min()), int(decided.max())
+        lines.append(
+            f"  leader election: {leaders} leaders; first decision at slot {first}"
+        )
+        lines.append(
+            f"  colors: {result.num_colors} distinct (highest {result.max_color}); "
+            f"last decision at slot {last}"
+        )
+    tx = int(tr.tx_count.sum())
+    rx = int(tr.rx_count.sum())
+    coll = int(tr.collision_count.sum())
+    lines.append(
+        f"  channel: {tx} transmissions, {rx} receptions, {coll} collided "
+        f"listener-slots ({coll / max(1, rx + coll):.0%} of busy slots lost)"
+    )
+    lines.append(
+        f"  verdict: {'proper' if result.proper else 'IMPROPER'} coloring, "
+        f"{'complete' if result.completed else 'incomplete'}"
+    )
+    return "\n".join(lines)

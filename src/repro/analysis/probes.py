@@ -1,0 +1,102 @@
+"""Counter-trajectory probes: Fig. 3 of the paper as a measurement.
+
+Figure 3 illustrates the heart of the Lemma 7 argument: some node in
+every neighborhood transmits successfully, pushes its same-state
+neighbors' counters out of the critical range (they reset to
+``chi(P_v)`` below zero), and then climbs uninterrupted to the
+threshold.  :func:`record_counter_trajectories` runs the real protocol
+with a per-slot probe and returns the counters of a target node and its
+neighbors over time, so that picture can be *observed* rather than
+assumed (see ``examples/figure3_traces.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.node import ColoringNode
+from repro.core.params import Parameters
+from repro.core.protocol import build_simulator
+from repro.core.states import Phase
+from repro.graphs.deployment import Deployment
+
+__all__ = ["CounterTrajectory", "record_counter_trajectories"]
+
+
+@dataclass
+class CounterTrajectory:
+    """Per-slot observations of one node."""
+
+    node: int
+    slots: list[int] = field(default_factory=list)
+    counters: list[int] = field(default_factory=list)  #: c_v (active A_i only)
+    states: list[str] = field(default_factory=list)
+    final_state: str = "?"  #: the node's state when probing stopped
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(slots, counters)`` as numpy arrays."""
+        return np.array(self.slots), np.array(self.counters)
+
+    @property
+    def reset_slots(self) -> list[int]:
+        """Slots where the counter dropped (a chi reset was taken)."""
+        out = []
+        for (s0, c0), (s1, c1) in zip(
+            zip(self.slots, self.counters), zip(self.slots[1:], self.counters[1:])
+        ):
+            if c1 < c0:
+                out.append(s1)
+        return out
+
+
+def record_counter_trajectories(
+    dep: Deployment,
+    *,
+    targets: list[int] | None = None,
+    params: Parameters | None = None,
+    seed: int | None = 0,
+    max_slots: int | None = None,
+    state_index: int = 0,
+) -> dict[int, CounterTrajectory]:
+    """Run the protocol, sampling the counters of ``targets`` (default:
+    the max-degree node and its neighbors) in every slot they are active
+    in state ``A_{state_index}``.
+
+    Returns node -> :class:`CounterTrajectory`.  The run stops when all
+    targets have left the probed state (or decided), or at ``max_slots``.
+    """
+    if dep.n == 0:
+        raise ValueError("empty deployment")
+    if params is None:
+        params = Parameters.for_deployment(dep)
+    if targets is None:
+        center = max(range(dep.n), key=lambda v: dep.degree(v))
+        targets = [center, *map(int, dep.neighbors[center])]
+    sim, nodes = build_simulator(dep, params, seed=seed)
+    if max_slots is None:
+        max_slots = 80 * params.threshold
+    trajs = {v: CounterTrajectory(node=v) for v in targets}
+
+    def probed_done() -> bool:
+        return all(
+            nodes[v].phase is not Phase.VERIFY or nodes[v].index > state_index
+            for v in targets
+        )
+
+    while sim.slot < max_slots:
+        sim.step()
+        t = sim.slot - 1  # the slot just executed
+        for v in targets:
+            node: ColoringNode = nodes[v]
+            if node.phase is Phase.VERIFY and node.index == state_index and node._active:
+                tr = trajs[v]
+                tr.slots.append(t)
+                tr.counters.append(node.counter(t))
+                tr.states.append(node.state.label)
+        if probed_done():
+            break
+    for v in targets:
+        trajs[v].final_state = nodes[v].state.label
+    return trajs

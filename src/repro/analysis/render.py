@@ -1,0 +1,107 @@
+"""Terminal-friendly rendering of deployments and run outcomes.
+
+The harness is matplotlib-free by design (the environment is offline);
+these renderers produce the "figures" as text — good enough to eyeball a
+deployment's density structure, a color histogram, or a convergence
+curve in a log file or CI output:
+
+- :func:`ascii_deployment` — 2-D density/attribute map of a deployment;
+- :func:`ascii_histogram` — horizontal bar chart of a value sequence;
+- :func:`sparkline` — one-line curve (e.g. the decided fraction).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.graphs.deployment import Deployment
+
+__all__ = ["ascii_deployment", "ascii_histogram", "sparkline"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+_DENSITY = " .:-=+*#%@"
+
+
+def ascii_deployment(
+    dep: Deployment,
+    values: Sequence[float] | None = None,
+    *,
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """Render node positions as a character grid.
+
+    Without ``values``, cell brightness encodes node *count* (density
+    map).  With per-node ``values`` (e.g. colors, decision times), cells
+    show the maximum value bucket in that cell.
+    """
+    if dep.positions is None:
+        raise ValueError("deployment has no geometry to render")
+    if dep.n == 0:
+        return "(empty deployment)"
+    pts = dep.positions[:, :2]
+    mins = pts.min(axis=0)
+    spans = np.maximum(pts.max(axis=0) - mins, 1e-9)
+    cols = np.minimum((pts[:, 0] - mins[0]) / spans[0] * (width - 1), width - 1).astype(int)
+    rows = np.minimum((pts[:, 1] - mins[1]) / spans[1] * (height - 1), height - 1).astype(int)
+    grid = np.zeros((height, width))
+    if values is None:
+        for r, c in zip(rows, cols):
+            grid[r, c] += 1
+    else:
+        vals = np.asarray(list(values), dtype=float)
+        if vals.shape != (dep.n,):
+            raise ValueError(f"values must have shape ({dep.n},)")
+        for r, c, v in zip(rows, cols, vals):
+            grid[r, c] = max(grid[r, c], v)
+    top = grid.max()
+    if top <= 0:
+        top = 1.0
+    out_rows = []
+    for r in range(height - 1, -1, -1):  # y grows upward
+        line = "".join(
+            _DENSITY[
+                max(1, min(int(round(grid[r, c] / top * (len(_DENSITY) - 1))), len(_DENSITY) - 1))
+            ]
+            if grid[r, c] > 0
+            else " "
+            for c in range(width)
+        )
+        out_rows.append(line)
+    return "\n".join(out_rows)
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 10,
+    width: int = 40,
+    label: str = "",
+) -> str:
+    """Horizontal-bar histogram of ``values``."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return "(no data)"
+    counts, edges = np.histogram(arr, bins=bins)
+    top = max(counts.max(), 1)
+    lines = [f"{label} (n={arr.size}, min={arr.min():.3g}, max={arr.max():.3g})"]
+    for i, c in enumerate(counts):
+        bar = "#" * int(round(c / top * width))
+        lines.append(f"  [{edges[i]:>10.3g}, {edges[i + 1]:>10.3g})  {bar} {c}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], *, width: int = 60) -> str:
+    """One-line curve of ``values`` downsampled to ``width`` characters."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        idx = np.linspace(0, arr.size - 1, width).astype(int)
+        arr = arr[idx]
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo if hi > lo else 1.0
+    levels = ((arr - lo) / span * (len(_SPARK) - 1)).astype(int)
+    return "".join(_SPARK[k] for k in levels)

@@ -1,0 +1,105 @@
+"""Statistical helpers for the experiment harness.
+
+Monte-Carlo experiments report rates (success probabilities) and heavy-
+tailed timings; bare means over a handful of seeds invite over-reading.
+These helpers put honest uncertainty on the tables:
+
+- :func:`wilson_interval` — confidence interval for a Bernoulli rate
+  (success/failure counts); well-behaved at 0 and 1, unlike the normal
+  approximation;
+- :func:`bootstrap_mean_interval` — nonparametric CI for a mean
+  (decision times are skewed, so normal-theory intervals mislead);
+- :func:`summarize_rate` / :func:`summarize_values` — one-line dicts
+  experiments can merge into their table rows.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._util import spawn_generator
+
+__all__ = [
+    "wilson_interval",
+    "bootstrap_mean_interval",
+    "summarize_rate",
+    "summarize_values",
+]
+
+
+def wilson_interval(
+    successes: int, trials: int, *, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    >>> lo, hi = wilson_interval(9, 10)
+    >>> 0.55 < lo < 0.7 and 0.97 < hi <= 1.0
+    True
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be within [0, trials]")
+    p = successes / trials
+    denom = 1 + z**2 / trials
+    center = (p + z**2 / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z**2 / (4 * trials**2))
+        / denom
+    )
+    lo = max(0.0, center - half)
+    hi = min(1.0, center + half)
+    # At p-hat = 1 (resp. 0) the exact endpoint is 1 (resp. 0); pin it so
+    # float rounding cannot push the interval off the point estimate.
+    if successes == trials:
+        hi = 1.0
+    if successes == 0:
+        lo = 0.0
+    return lo, hi
+
+
+def bootstrap_mean_interval(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int | None = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap CI for the mean of ``values``."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("values must be non-empty")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if arr.size == 1:
+        return float(arr[0]), float(arr[0])
+    rng = spawn_generator(seed, 0xB007)
+    idx = rng.integers(0, arr.size, size=(resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1 - confidence) / 2
+    lo, hi = np.quantile(means, [alpha, 1 - alpha])
+    return float(lo), float(hi)
+
+
+def summarize_rate(flags: Sequence[bool]) -> dict[str, float]:
+    """Rate with Wilson 95% CI, ready to splat into a table row."""
+    flags = [bool(f) for f in flags]
+    k, n = sum(flags), len(flags)
+    lo, hi = wilson_interval(k, n)
+    return {"rate": k / n, "rate_lo": lo, "rate_hi": hi, "runs": n}
+
+
+def summarize_values(values: Sequence[float]) -> dict[str, float]:
+    """Mean with bootstrap 95% CI plus max, for timing columns."""
+    arr = np.asarray(list(values), dtype=float)
+    lo, hi = bootstrap_mean_interval(arr)
+    return {
+        "mean": float(arr.mean()),
+        "mean_lo": lo,
+        "mean_hi": hi,
+        "max": float(arr.max()),
+    }

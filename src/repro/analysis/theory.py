@@ -1,0 +1,96 @@
+"""Closed-form bounds from the paper's analysis (Sect. 5).
+
+These are the "paper" columns of EXPERIMENTS.md: given a parameter set,
+they evaluate the exact expressions the lemmas derive so experiments can
+compare measured quantities against them.
+
+All bounds assume the leader set is independent (as the lemmas do) and
+use the natural-log convention of :mod:`repro._util.mathx`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.params import Parameters, paper_time_bound
+from repro._util import log2n
+
+__all__ = [
+    "lemma2_delivery_bound",
+    "lemma3_delivery_bound",
+    "lemma4_success_bound",
+    "theorem3_time_bound",
+    "theorem5_color_bound",
+]
+
+
+def _per_slot_reception_lb(params: Parameters, p_v: float) -> float:
+    """Inequality (1) of Lemma 2: a lower bound on the probability that a
+    specific transmission of ``v`` (sending probability ``p_v``) is
+    received by a fixed neighbor ``u``:
+
+        P_s >= p_v (1 - 1/kappa2)^{kappa1} (1 - 1/(kappa2 Delta))^{Delta}
+    """
+    k1, k2, d = params.kappa1, params.kappa2, params.delta
+    return p_v * (1 - 1 / k2) ** k1 * (1 - 1 / (k2 * d)) ** d
+
+
+def lemma2_delivery_bound(params: Parameters) -> dict[str, float]:
+    """Lemma 2: over an interval of ``gamma * Delta * log n`` slots, an
+    active sender's message reaches a fixed neighbor with probability at
+    least ``1 - P_no``.  Returns the interval, the per-slot bound, and
+    ``P_no``."""
+    interval = params.gamma * params.delta * log2n(params.n)
+    ps = _per_slot_reception_lb(params, params.p_active)
+    return {
+        "interval_slots": interval,
+        "per_slot_reception_lb": ps,
+        "miss_probability_ub": (1 - ps) ** interval,
+    }
+
+
+def lemma3_delivery_bound(params: Parameters) -> dict[str, float]:
+    """Lemma 3: same as Lemma 2 but for a *leader* sender (probability
+    ``1/kappa2``) over the shorter interval ``gamma * log n``."""
+    interval = params.gamma * log2n(params.n)
+    ps = _per_slot_reception_lb(params, params.p_leader)
+    return {
+        "interval_slots": interval,
+        "per_slot_reception_lb": ps,
+        "miss_probability_ub": (1 - ps) ** interval,
+    }
+
+
+def lemma4_success_bound(params: Parameters) -> dict[str, float]:
+    """Lemma 4: in any slot, *some* node of a populated neighborhood
+    transmits successfully (heard by its entire 1-hop neighborhood) with
+    probability at least
+
+        P_s >= 1/(e^2 kappa2 Delta) (1 - 1/(kappa2 Delta)) (1 - 1/kappa2)
+
+    and over ``sigma/2 * Delta * log n`` slots the miss probability is
+    below ``n^{-5}`` for the theoretical constants."""
+    k2, d = params.kappa2, params.delta
+    ps = (
+        1.0
+        / (math.e**2 * k2 * d)
+        * (1 - 1 / (k2 * d))
+        * (1 - 1 / k2)
+    )
+    interval = params.sigma / 2 * d * log2n(params.n)
+    return {
+        "interval_slots": interval,
+        "per_slot_success_lb": ps,
+        "miss_probability_ub": (1 - ps) ** interval,
+    }
+
+
+def theorem3_time_bound(params: Parameters) -> int:
+    """Theorem 3's explicit slot bound (see
+    :func:`repro.core.params.paper_time_bound`)."""
+    return paper_time_bound(params)
+
+
+def theorem5_color_bound(params: Parameters) -> int:
+    """Theorem 5: at most ``kappa2 * Delta`` colors."""
+    return params.kappa2 * params.delta

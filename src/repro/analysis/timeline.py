@@ -1,0 +1,71 @@
+"""Per-node state timelines reconstructed from traces.
+
+The analysis bounds *time spent per state*: Lemma 7 bounds any ``A_i``
+sojourn by O(kappa_2^3 Delta log n), Lemma 8 bounds the ``R`` sojourn by
+``(gamma + beta) Delta log n``.  This module turns a trace's state
+events into explicit ``(state, entry_slot, exit_slot)`` intervals so
+those bounds can be checked on real runs (E8) and so users can inspect
+where a slow node spent its time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.radio.trace import TraceRecorder
+
+__all__ = ["StateInterval", "state_timelines", "sojourn_times"]
+
+
+@dataclass(frozen=True, slots=True)
+class StateInterval:
+    """One sojourn of one node in one state.
+
+    ``exit_slot`` is ``None`` for the state the node was in when the
+    simulation stopped (terminal ``C_i`` states, normally).
+    """
+
+    node: int
+    state: str
+    entry_slot: int
+    exit_slot: int | None
+
+    @property
+    def duration(self) -> int | None:
+        if self.exit_slot is None:
+            return None
+        return self.exit_slot - self.entry_slot
+
+
+def state_timelines(trace: TraceRecorder) -> dict[int, list[StateInterval]]:
+    """Reconstruct each node's ordered state intervals from the trace
+    (requires ``level >= 1``, which records state events)."""
+    raw: dict[int, list[tuple[int, str]]] = {}
+    for ev in trace.events_of_kind("state"):
+        raw.setdefault(ev.node, []).append((ev.slot, ev.data["state"]))
+    out: dict[int, list[StateInterval]] = {}
+    for node, seq in raw.items():
+        seq.sort()
+        intervals = [
+            StateInterval(node, s0, t0, t1)
+            for (t0, s0), (t1, _s1) in zip(seq, seq[1:])
+        ]
+        last_slot, last_state = seq[-1]
+        intervals.append(StateInterval(node, last_state, last_slot, None))
+        out[node] = intervals
+    return out
+
+
+def sojourn_times(
+    trace: TraceRecorder, prefix: str
+) -> list[StateInterval]:
+    """All *completed* sojourns whose state label starts with ``prefix``
+    (e.g. ``"A_"`` for Lemma 7, ``"R"`` for Lemma 8), across all nodes."""
+    out: list[StateInterval] = []
+    for intervals in state_timelines(trace).values():
+        out.extend(
+            iv
+            for iv in intervals
+            if iv.state.startswith(prefix) and iv.exit_slot is not None
+        )
+    return out

@@ -1,0 +1,36 @@
+"""Baselines and comparators for the E9 experiment (Sect. 3 context).
+
+The paper positions its algorithm against three families:
+
+1. **Centralized / quality references** (:mod:`repro.baselines.greedy`):
+   greedy first-fit and Welsh-Powell colorings — lower bounds on how few
+   colors a reasonable algorithm could use;
+2. **Message-passing algorithms** (:mod:`repro.baselines.message_passing`,
+   :mod:`repro.baselines.luby`): Luby-style MIS and randomized
+   (Delta+1)-coloring in the *idealized* synchronous model the paper's
+   Sect. 3 contrasts with — no collisions, known neighbors, synchronous
+   start.  Their round counts show what the unstructured model costs;
+3. **Unstructured-model alternatives**: the cascading-reset strawman the
+   paper's Sect. 4 argues against (:mod:`repro.baselines.naive`) and a
+   frame-based random-color-pick protocol in the spirit of Busch et al.
+   [2] restricted to one-hop coloring (:mod:`repro.baselines.busch`).
+"""
+
+from repro.baselines.busch import FrameColoringNode, run_frame_coloring
+from repro.baselines.greedy import greedy_coloring, welsh_powell_coloring
+from repro.baselines.luby import luby_mis, randomized_delta_plus_one
+from repro.baselines.message_passing import SyncNode, run_rounds
+from repro.baselines.naive import NaiveResetNode, run_naive_coloring
+
+__all__ = [
+    "FrameColoringNode",
+    "NaiveResetNode",
+    "SyncNode",
+    "greedy_coloring",
+    "luby_mis",
+    "randomized_delta_plus_one",
+    "run_frame_coloring",
+    "run_naive_coloring",
+    "run_rounds",
+    "welsh_powell_coloring",
+]

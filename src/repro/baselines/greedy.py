@@ -1,0 +1,46 @@
+"""Centralized greedy colorings — color-quality references.
+
+Neither is distributed; they answer "how many colors would a cheap
+centralized heuristic use?" so the E9 tables can report the algorithm's
+color overhead factor.  First-fit greedy uses at most ``Delta`` colors
+(closed degree); Welsh-Powell (largest degree first) often fewer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import spawn_generator
+from repro.graphs.deployment import Deployment
+
+__all__ = ["greedy_coloring", "welsh_powell_coloring"]
+
+
+def _first_fit(dep: Deployment, order: np.ndarray) -> np.ndarray:
+    colors = np.full(dep.n, -1, dtype=np.int64)
+    for v in order:
+        v = int(v)
+        taken = {int(colors[u]) for u in dep.neighbors[v] if colors[u] >= 0}
+        c = 0
+        while c in taken:
+            c += 1
+        colors[v] = c
+    return colors
+
+
+def greedy_coloring(dep: Deployment, *, seed: int | None = None) -> np.ndarray:
+    """First-fit greedy in a (seeded) random node order.
+
+    Uses at most ``max open degree + 1 = Delta`` colors (paper's closed
+    ``Delta``); returns the per-node color array.
+    """
+    rng = spawn_generator(seed)
+    order = rng.permutation(dep.n)
+    return _first_fit(dep, order)
+
+
+def welsh_powell_coloring(dep: Deployment) -> np.ndarray:
+    """First-fit greedy in non-increasing degree order (Welsh-Powell)."""
+    degrees = np.array([dep.degree(v) for v in range(dep.n)])
+    order = np.argsort(-degrees, kind="stable")
+    return _first_fit(dep, order)

@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``color``
+    Generate a deployment, run the coloring protocol, print the summary
+    and the verification verdict.
+``experiment``
+    Run one of the E1-E12 experiment modules and print (or CSV-export)
+    its table.
+``kappa``
+    Measure kappa_1/kappa_2 of a generated deployment.
+``list``
+    List the available experiments with their claims.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: experiment id -> (module name, one-line claim)
+EXPERIMENTS = {
+    "e1": ("e1_correctness", "Theorem 2/5: correct + complete colorings"),
+    "e2": ("e2_time_scaling", "Theorem 3 / Cor. 2: time ~ Delta log n"),
+    "e3": ("e3_colors", "Theorem 5 / Cor. 2: <= kappa2*Delta colors"),
+    "e4": ("e4_locality", "Theorem 4: locality of color assignment"),
+    "e5": ("e5_kappa", "Sect. 2 + Lemmas 1, 9: kappa bounds per graph model"),
+    "e6": ("e6_constants", "Sect. 4 remark: smaller constants suffice"),
+    "e7": ("e7_wakeup", "Sect. 2: robustness to wake-up patterns"),
+    "e8": ("e8_lemmas", "Lemmas 2-4, 6, 8 + Cor. 1: analysis building blocks"),
+    "e9": ("e9_baselines", "Sect. 3: naive reset / frame-based / Luby baselines"),
+    "e10": ("e10_tdma", "Sect. 1: interference-free TDMA application"),
+    "e11": ("e11_estimates", "(ext.) sensitivity to estimates and channel loss"),
+    "e12": ("e12_local_delta", "(ext.) Sect. 6 future work: local-Delta params"),
+    "e13": ("e13_unaligned", "(ext.) Sect. 2 claim: non-aligned slots cost a small constant"),
+    "e14": ("e14_energy", "(ext.) energy-latency trade-off of initialization"),
+    "e15": ("e15_incremental", "(ext.) incremental joins into a colored network"),
+    "e16": ("e16_leader_failure", "(ext.) leader-failure blast radius (negative-space)"),
+    "e17": ("e17_channels", "(ext.) what the single-channel assumption costs"),
+}
+
+_SCHEDULE_CHOICES = (
+    "synchronous",
+    "uniform_random",
+    "sequential",
+    "batched",
+    "bfs_wave",
+    "staggered_neighbors",
+    "poisson",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Coloring Unstructured Radio Networks' (SPAA 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    color = sub.add_parser("color", help="run the coloring protocol once")
+    color.add_argument("--n", type=int, default=100, help="number of nodes")
+    color.add_argument("--degree", type=float, default=12.0, help="expected closed degree")
+    color.add_argument("--seed", type=int, default=0, help="master seed")
+    color.add_argument(
+        "--schedule", choices=_SCHEDULE_CHOICES, default="synchronous",
+        help="wake-up pattern",
+    )
+    color.add_argument("--loss", type=float, default=0.0, help="injected loss probability")
+    color.add_argument(
+        "--regime", choices=("practical", "theoretical"), default="practical",
+        help="parameter regime",
+    )
+
+    exp = sub.add_parser("experiment", help="run an experiment module")
+    exp.add_argument("id", choices=sorted(EXPERIMENTS, key=lambda k: int(k[1:])))
+    exp.add_argument("--full", action="store_true", help="full (slow) configuration")
+    exp.add_argument("--seeds", type=int, default=None, help="seeds per configuration")
+    exp.add_argument("--csv", metavar="PATH", default=None, help="also write CSV here")
+
+    kappa = sub.add_parser("kappa", help="measure kappa_1/kappa_2 of a deployment")
+    kappa.add_argument("--n", type=int, default=100)
+    kappa.add_argument("--degree", type=float, default=12.0)
+    kappa.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="list available experiments")
+    return parser
+
+
+def _cmd_color(args) -> int:
+    from repro.core import Parameters, run_coloring
+    from repro.analysis import verify_run
+    from repro.graphs import random_udg
+    from repro.wakeup import ALL_SCHEDULES
+
+    dep = random_udg(args.n, expected_degree=args.degree, seed=args.seed)
+    print(f"deployment: {dep.describe()}")
+    params = Parameters.for_deployment(dep, regime=args.regime)
+    wake = ALL_SCHEDULES[args.schedule](dep, seed=args.seed + 1)
+    result = run_coloring(
+        dep, params=params, wake_slots=wake, seed=args.seed + 2, loss_prob=args.loss
+    )
+    for k, v in result.summary().items():
+        print(f"  {k}: {v}")
+    report = verify_run(result)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def _cmd_experiment(args) -> int:
+    mod_name, _claim = EXPERIMENTS[args.id]
+    mod = importlib.import_module(f"repro.experiments.{mod_name}")
+    kwargs = {"quick": not args.full}
+    if args.seeds is not None:
+        kwargs["seeds"] = args.seeds
+    table = mod.run(**kwargs)
+    print(table.render())
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(table.to_csv())
+        print(f"(csv written to {args.csv})")
+    return 0
+
+
+def _cmd_kappa(args) -> int:
+    from repro.graphs import kappas, random_udg
+
+    dep = random_udg(args.n, expected_degree=args.degree, seed=args.seed)
+    k1, k2 = kappas(dep)
+    print(f"deployment: {dep.describe()}")
+    print(f"kappa1={k1} (UDG bound 5), kappa2={k2} (UDG bound 18)")
+    return 0
+
+
+def _cmd_list() -> int:
+    for key in sorted(EXPERIMENTS, key=lambda k: int(k[1:])):
+        mod, claim = EXPERIMENTS[key]
+        print(f"{key:<5} {claim}   [repro.experiments.{mod}]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "color":
+        return _cmd_color(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "kappa":
+        return _cmd_kappa(args)
+    if args.command == "list":
+        return _cmd_list()
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

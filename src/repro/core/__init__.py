@@ -1,0 +1,29 @@
+"""The paper's primary contribution: coloring from scratch.
+
+- :mod:`repro.core.params` — the (alpha, beta, gamma, sigma) parameter
+  sets, theoretical and practical regimes, and the Theorem 3 time bound;
+- :mod:`repro.core.states` — the Fig. 2 state machine labels;
+- :mod:`repro.core.node` — Algorithms 1-3 as a protocol node;
+- :mod:`repro.core.protocol` — orchestration and results.
+"""
+
+from repro.core.mis import MisResult, run_mis
+from repro.core.node import UNDECIDED, ColoringNode
+from repro.core.params import Parameters, paper_time_bound, suggested_max_slots
+from repro.core.protocol import ColoringResult, build_simulator, run_coloring
+from repro.core.states import NodeState, Phase
+
+__all__ = [
+    "UNDECIDED",
+    "ColoringNode",
+    "ColoringResult",
+    "MisResult",
+    "NodeState",
+    "Parameters",
+    "Phase",
+    "build_simulator",
+    "paper_time_bound",
+    "run_coloring",
+    "run_mis",
+    "suggested_max_slots",
+]

@@ -1,0 +1,121 @@
+"""Leader election as a standalone primitive: MIS from scratch.
+
+The first stage of the coloring algorithm — the ``A_0``/``C_0``
+competition — is by itself a *maximal independent set* algorithm in the
+unstructured radio network model, the problem of the companion paper
+[21] (Moscibroda & Wattenhofer, PODC 2005, O(log^2 n) in this model).
+:func:`run_mis` runs the protocol only until every node either joined
+``C_0`` or associated with a leader, and returns the elected set — a
+useful primitive on its own (clustering, dominating sets; cf. [13]) and
+the natural comparison object for Luby's MIS in the idealized model
+(:func:`repro.baselines.luby.luby_mis`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.node import ColoringNode
+from repro.core.params import Parameters, suggested_max_slots
+from repro.core.protocol import build_simulator
+from repro.graphs.deployment import Deployment
+from repro.radio.trace import TraceRecorder
+
+__all__ = ["MisResult", "run_mis"]
+
+
+@dataclass
+class MisResult:
+    """Outcome of leader election."""
+
+    deployment: Deployment
+    params: Parameters
+    in_mis: np.ndarray  #: boolean mask of elected leaders (C_0)
+    covered: np.ndarray  #: leaders plus nodes that associated with one
+    slots: int
+    completed: bool  #: every node covered before the slot cap
+    trace: TraceRecorder
+
+    @property
+    def independent(self) -> bool:
+        """Leaders are pairwise non-adjacent."""
+        m = self.in_mis
+        return not any(m[u] and m[v] for u, v in self.deployment.graph.edges)
+
+    @property
+    def maximal(self) -> bool:
+        """Every non-leader has a leader neighbor (only meaningful for
+        completed runs)."""
+        m = self.in_mis
+        return all(
+            m[v] or any(m[u] for u in self.deployment.neighbors[v])
+            for v in range(self.deployment.n)
+        )
+
+    def election_times(self) -> np.ndarray:
+        """Per-node slots from own wake-up until covered (leader decision
+        or leader association), -1 if never covered."""
+        return self._cover_slots - self.trace.wake_slot
+
+    # filled by run_mis
+    _cover_slots: np.ndarray = None  # type: ignore[assignment]
+
+
+def run_mis(
+    dep: Deployment,
+    params: Parameters | None = None,
+    wake_slots: np.ndarray | None = None,
+    *,
+    seed: int | None = 0,
+    max_slots: int | None = None,
+) -> MisResult:
+    """Elect a maximal independent leader set from scratch.
+
+    Runs the coloring protocol's first stage and stops as soon as every
+    node is *covered*: it either entered ``C_0`` or learned its leader
+    (left ``A_0``).  The rest of the protocol (intra-cluster colors,
+    verification) never starts mattering for the returned result.
+    """
+    if dep.n == 0:
+        raise ValueError("cannot elect leaders on an empty deployment")
+    if params is None:
+        params = Parameters.for_deployment(dep)
+    sim, nodes = build_simulator(dep, params, wake_slots, seed=seed)
+    if max_slots is None:
+        wake_max = int(sim.wake_slots.max())
+        # Leader election is one verification state: a fraction of the
+        # full budget more than suffices.
+        max_slots = suggested_max_slots(params, wake_max)
+
+    cover_slots = np.full(dep.n, -1, dtype=np.int64)
+
+    def covered(node: ColoringNode) -> bool:
+        return node.color == 0 or node.leader is not None
+
+    def stop(s) -> bool:
+        done = True
+        for v, node in enumerate(nodes):
+            if covered(node):
+                if cover_slots[v] < 0:
+                    cover_slots[v] = s.slot
+            else:
+                done = False
+        return done
+
+    res = sim.run(max_slots, stop_when=stop)
+    stop(sim)  # final bookkeeping for nodes covered on the last slots
+    in_mis = np.array([node.color == 0 for node in nodes], dtype=bool)
+    covered_mask = np.array([covered(node) for node in nodes], dtype=bool)
+    out = MisResult(
+        deployment=dep,
+        params=params,
+        in_mis=in_mis,
+        covered=covered_mask,
+        slots=res.slots,
+        completed=bool(covered_mask.all()),
+        trace=sim.trace,
+    )
+    out._cover_slots = cover_slots
+    return out

@@ -1,0 +1,227 @@
+"""Executable-specification reference implementation of Algorithms 1-3.
+
+:class:`ReferenceColoringNode` transcribes the paper's pseudocode as
+literally as Python allows: one integer counter incremented every slot,
+one dict of competitor copies incremented every slot, one Bernoulli draw
+per transmission opportunity, explicit waiting loops.  It is O(|P_v|)
+per slot and therefore much slower than the optimized
+:class:`~repro.core.node.ColoringNode` — its sole purpose is to serve as
+the oracle in differential tests (``tests/test_core_reference.py``):
+under a deterministic RNG the two implementations must produce *bit-
+identical* state trajectories, which is the strongest evidence that the
+lazy-counter / geometric-skip transformations in the optimized node are
+observationally equivalent to the pseudocode.
+
+It is deliberately structured phase-by-phase rather than factored for
+reuse, so a reader can hold it against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.params import Parameters
+from repro.core.states import NodeState, Phase
+from repro.radio.messages import (
+    AssignMessage,
+    ColorMessage,
+    CounterMessage,
+    Message,
+    RequestMessage,
+)
+from repro.radio.node import ProtocolNode
+from repro.radio.trace import TraceRecorder
+from repro._util import max_value_outside
+
+__all__ = ["ReferenceColoringNode"]
+
+
+class ReferenceColoringNode(ProtocolNode):
+    """Literal per-slot transcription of the paper's pseudocode."""
+
+    # No __slots__: clarity over footprint — this class exists to be read.
+
+    def __init__(
+        self, vid: int, params: Parameters, trace: TraceRecorder | None = None
+    ) -> None:
+        super().__init__(vid)
+        self.params = params
+        self.trace = trace
+        self.phase = Phase.SLEEP
+        self.index = -1
+        self.color = -1
+        self.leader: int | None = None
+        self.tc: int | None = None
+        # Algorithm 1 state.
+        self.c_v = 0  # the counter, incremented explicitly each slot
+        self.d_v: dict[int, int] = {}  # local copies of competitor counters
+        self.wait_remaining = 0  # slots left in the L4 listening loop
+        self.active = False
+        self.crit = 0
+        # Algorithm 3 (leader) state.
+        self.queue: deque[int] = deque()
+        self.tc_counter = 0
+        self.serving: tuple[int, int] | None = None
+        self.serve_remaining = 0
+        # Instrumentation mirrored from the optimized node.
+        self.resets = 0
+        self.states_visited: list[str] = []
+        self.min_counter = 0
+
+    # ------------------------------------------------------------------
+    def on_wake(self, slot: int) -> None:
+        """Upon waking up, enter state A_0 (Sect. 4)."""
+        self._enter_verify(0, slot)
+
+    def _record(self, slot: int, label: str) -> None:
+        self.states_visited.append(label)
+        if self.trace is not None:
+            self.trace.state(slot, self.vid, label)
+
+    def _enter_verify(self, i: int, slot: int) -> None:
+        # Alg. 1, L1-4.
+        self.phase = Phase.VERIFY
+        self.index = i
+        self.d_v = {}
+        self.crit = self.params.critical_range(i)
+        self.wait_remaining = self.params.wait_slots
+        self.active = False
+        self._record(slot, f"A_{i}")
+
+    def _chi(self) -> int:
+        # Alg. 1, L15: max value <= 0 outside every stored critical range.
+        g = self.crit
+        return max_value_outside(
+            [(d - g, d + g) for d in self.d_v.values()], upper=0
+        )
+
+    def _set_counter(self, value: int) -> None:
+        self.c_v = value
+        if value < self.min_counter:
+            self.min_counter = value
+
+    # ------------------------------------------------------------------
+    def step(self, slot: int, rng: np.random.Generator) -> Message | None:
+        """One literal pseudocode slot (increments, checks, Bernoulli)."""
+        if self.phase is Phase.VERIFY:
+            if not self.active:
+                if self.wait_remaining > 0:
+                    # One iteration of the L4 listening loop: L5 increments.
+                    self.wait_remaining -= 1
+                    for w in self.d_v:
+                        self.d_v[w] += 1
+                    return None
+                # L15: become active.
+                self.active = True
+                self._set_counter(self._chi())
+            # L17-18: increments.
+            self.c_v += 1
+            for w in self.d_v:
+                self.d_v[w] += 1
+            # L19-20: threshold check.
+            if self.c_v >= self.params.threshold:
+                self._decide(slot)
+                return self._leader_or_color_step(slot, rng)
+            # L22: transmit with probability 1/(kappa2*Delta).
+            if rng.random() < self.params.p_active:
+                return CounterMessage(sender=self.vid, color=self.index, counter=self.c_v)
+            return None
+
+        if self.phase is Phase.REQUEST:
+            # Alg. 2, L2.
+            if rng.random() < self.params.p_active:
+                assert self.leader is not None
+                return RequestMessage(sender=self.vid, leader=self.leader)
+            return None
+
+        if self.phase is Phase.COLORED:
+            return self._leader_or_color_step(slot, rng)
+        return None  # pragma: no cover
+
+    def _decide(self, slot: int) -> None:
+        # Alg. 3, L1.
+        self.phase = Phase.COLORED
+        self.color = self.index
+        self.active = False
+        self._record(slot, f"C_{self.index}")
+        if self.trace is not None:
+            self.trace.decide(slot, self.vid, self.index)
+
+    def _leader_or_color_step(self, slot: int, rng: np.random.Generator) -> Message | None:
+        p = self.params
+        if self.index > 0:
+            # Alg. 3, L3-5.
+            if rng.random() < p.p_active:
+                return ColorMessage(sender=self.vid, color=self.index)
+            return None
+        # Leader: Alg. 3, L6-23.
+        if self.serving is not None and self.serve_remaining == 0:
+            self.queue.popleft()  # L21
+            self.serving = None
+        if self.serving is None and self.queue:
+            self.tc_counter += 1  # L16
+            self.serving = (self.queue[0], self.tc_counter)
+            self.serve_remaining = p.serve_window
+        if self.serving is not None:
+            self.serve_remaining -= 1
+            if rng.random() < p.p_leader:  # L19
+                target, tc = self.serving
+                return AssignMessage(sender=self.vid, color=0, target=target, tc=tc)
+            return None
+        if rng.random() < p.p_leader:  # L14
+            return ColorMessage(sender=self.vid, color=0)
+        return None
+
+    # ------------------------------------------------------------------
+    def deliver(self, slot: int, msg: Message) -> None:
+        """Reception processing, per the current state's rules."""
+        if self.phase is Phase.VERIFY:
+            i = self.index
+            if isinstance(msg, ColorMessage):
+                if msg.color != i:
+                    return
+                if i == 0:
+                    self.leader = msg.sender  # L12
+                    self.phase = Phase.REQUEST
+                    self.index = -1
+                    self.active = False
+                    self._record(slot, "R")
+                else:
+                    self._enter_verify(i + 1, slot + 1)
+                return
+            if isinstance(msg, CounterMessage) and msg.color == i:
+                self.d_v[msg.sender] = msg.counter  # L7-8 / L28
+                if self.active and abs(self.c_v - msg.counter) <= self.crit:
+                    self._set_counter(self._chi())  # L29
+                    self.resets += 1
+            return
+        if self.phase is Phase.REQUEST:
+            if (
+                isinstance(msg, AssignMessage)
+                and msg.target == self.vid
+                and msg.sender == self.leader
+            ):
+                self.tc = msg.tc
+                self._enter_verify(self.params.color_for_tc(msg.tc), slot + 1)
+            return
+        if self.phase is Phase.COLORED and self.index == 0:
+            if (
+                isinstance(msg, RequestMessage)
+                and msg.leader == self.vid
+                and msg.sender not in self.queue
+            ):
+                self.queue.append(msg.sender)
+
+    @property
+    def done(self) -> bool:
+        return self.phase is Phase.COLORED
+
+    @property
+    def state(self) -> NodeState:
+        if self.phase is Phase.SLEEP:
+            return NodeState(Phase.SLEEP)
+        if self.phase is Phase.REQUEST:
+            return NodeState(Phase.REQUEST)
+        return NodeState(self.phase, self.index)

@@ -1,0 +1,55 @@
+"""Node states (Fig. 2 of the paper).
+
+At any time a node is in exactly one of:
+
+- ``Z`` — asleep (before wake-up);
+- ``A_i`` — verifying (competing for) color ``i``; ``A_0`` doubles as
+  leader election;
+- ``R`` — requesting an intra-cluster color from its leader;
+- ``C_i`` — irrevocably decided on color ``i`` (``C_0`` = leader).
+
+:class:`NodeState` is a cheap value object used for tracing and tests;
+the hot protocol loop keeps phase/index in plain attributes and only
+materializes :class:`NodeState` on demand.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Phase", "NodeState"]
+
+
+class Phase(enum.Enum):
+    """Coarse phase of a node; ``VERIFY``/``COLORED`` carry a color index."""
+
+    SLEEP = "Z"
+    VERIFY = "A"
+    REQUEST = "R"
+    COLORED = "C"
+
+
+@dataclass(frozen=True, slots=True)
+class NodeState:
+    """Full state label, e.g. ``A_3`` = ``NodeState(Phase.VERIFY, 3)``."""
+
+    phase: Phase
+    index: int | None = None
+
+    def __post_init__(self) -> None:
+        needs_index = self.phase in (Phase.VERIFY, Phase.COLORED)
+        if needs_index and (self.index is None or self.index < 0):
+            raise ValueError(f"{self.phase} needs a non-negative index")
+        if not needs_index and self.index is not None:
+            raise ValueError(f"{self.phase} carries no index")
+
+    @property
+    def label(self) -> str:
+        """Paper-style label: ``Z``, ``A_i``, ``R``, ``C_i``."""
+        if self.index is None:
+            return self.phase.value
+        return f"{self.phase.value}_{self.index}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label

@@ -1,0 +1,29 @@
+"""Experiment harness: one module per claim of the paper (see DESIGN.md's
+experiment index).
+
+Each ``eN_*`` module exposes ``run(quick=...) -> Table``; the matching
+``benchmarks/bench_eN_*.py`` regenerates and prints the table under
+pytest-benchmark, and EXPERIMENTS.md records paper-vs-measured.
+
+- :mod:`repro.experiments.e1_correctness` — Theorem 2 / Theorem 5
+- :mod:`repro.experiments.e2_time_scaling` — Theorem 3 / Corollary 2
+- :mod:`repro.experiments.e3_colors` — Theorem 5 / Corollary 2
+- :mod:`repro.experiments.e4_locality` — Theorem 4
+- :mod:`repro.experiments.e5_kappa` — Sect. 2 model bounds, Lemmas 1, 9
+- :mod:`repro.experiments.e6_constants` — Sect. 4 simulation remark
+- :mod:`repro.experiments.e7_wakeup` — asynchronous wake-up robustness
+- :mod:`repro.experiments.e8_lemmas` — Lemmas 2-4, 6, 8, Corollary 1
+- :mod:`repro.experiments.e9_baselines` — Sect. 3 comparisons
+- :mod:`repro.experiments.e10_tdma` — Sect. 1 application
+- :mod:`repro.experiments.e11_estimates` — (extension) estimate/loss sensitivity
+- :mod:`repro.experiments.e12_local_delta` — (extension) Sect. 6 future work
+- :mod:`repro.experiments.e13_unaligned` — (extension) non-aligned slots
+- :mod:`repro.experiments.e14_energy` — (extension) energy-latency trade-off
+- :mod:`repro.experiments.e15_incremental` — (extension) incremental joins
+- :mod:`repro.experiments.e16_leader_failure` — (extension) failure blast radius
+- :mod:`repro.experiments.e17_channels` — (extension) single-channel assumption
+"""
+
+from repro.experiments.runner import Table, sweep_seeds
+
+__all__ = ["Table", "sweep_seeds"]

@@ -1,0 +1,85 @@
+"""E13 (extension) — Non-aligned slots (Sect. 2 robustness claim).
+
+Paper claim: *"all analytical results carry over to the practical
+non-aligned case with an additional small constant factor, since each
+time slot can overlap with at most two time-slots of a neighbor."*
+
+We run the identical protocol on the aligned engine and on the
+unaligned engine (uniform random phase offsets) over the same
+deployments and seeds and report success rates, decision times, and the
+empirical slowdown factor — the "small constant" itself.  Reception
+rates drop (one transmission now contends with up to two neighbor
+slots), so times stretch; correctness must not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import verify_run
+from repro.core import run_coloring
+from repro.experiments.runner import Table, sweep_seeds
+from repro.graphs import random_udg
+
+__all__ = ["run"]
+
+
+def _one(unaligned: bool, seed: int, n: int, degree: float) -> dict:
+    dep = random_udg(n, expected_degree=degree, seed=seed, connected=True)
+    res = run_coloring(dep, seed=seed ^ 0xE13, unaligned=unaligned)
+    times = res.decision_times().astype(float)
+    decided = times[times >= 0]
+    tr = res.trace
+    return {
+        "ok": verify_run(res).ok,
+        "t_max": float(decided.max()) if decided.size else float("nan"),
+        "t_mean": float(decided.mean()) if decided.size else float("nan"),
+        "rx_per_tx": float(tr.rx_count.sum() / max(1, tr.tx_count.sum())),
+    }
+
+
+def run(*, quick: bool = True, seeds: int = 4) -> Table:
+    """Run the experiment; see the module docstring for the claim."""
+    table = Table("E13 aligned vs non-aligned slots (Sect. 2 robustness claim)")
+    n, degree = (40, 8.0) if quick else (80, 12.0)
+    results = {}
+    for mode, unaligned in (("aligned", False), ("unaligned", True)):
+        rows = sweep_seeds(
+            lambda s: _one(unaligned, s, n, degree),
+            seeds=seeds,
+            master_seed=17,  # same seeds for both modes: paired comparison
+        )
+        results[mode] = rows
+        table.add(
+            engine=mode,
+            success_rate=float(np.mean([r["ok"] for r in rows])),
+            t_max=float(np.max([r["t_max"] for r in rows])),
+            t_mean=float(np.mean([r["t_mean"] for r in rows])),
+            rx_per_tx=float(np.mean([r["rx_per_tx"] for r in rows])),
+        )
+    paired = [
+        u["t_mean"] / a["t_mean"]
+        for a, u in zip(results["aligned"], results["unaligned"])
+        if a["t_mean"] > 0
+    ]
+    table.add(
+        engine="slowdown factor",
+        success_rate=float("nan"),
+        t_max=float("nan"),
+        t_mean=float(np.mean(paired)),
+        rx_per_tx=float(
+            np.mean(
+                [
+                    u["rx_per_tx"] / a["rx_per_tx"]
+                    for a, u in zip(results["aligned"], results["unaligned"])
+                ]
+            )
+        ),
+    )
+    table.note(
+        "paper: correctness unaffected; times stretch by a small constant "
+        "(each transmission contends with <= 2 slots per neighbor, so "
+        "reception rates roughly halve in dense contention and the paired "
+        "t_mean ratio stays a small constant)"
+    )
+    return table

@@ -1,0 +1,67 @@
+"""E1 — Correctness and completeness (Theorem 2 + Theorem 5).
+
+Paper claim: every color class stays an independent set *throughout the
+execution* w.p. >= 1 - 2n^-3, hence the final coloring is proper; and
+every node decides (completeness).  With the practical constants the
+guarantee weakens to a small empirical failure rate — this experiment
+measures exactly that, per topology class and wake-up pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import verify_run
+from repro.core import run_coloring
+from repro.experiments.runner import Table, sweep_seeds
+from repro.graphs import random_udg
+from repro.wakeup import synchronous, uniform_random
+
+__all__ = ["run"]
+
+
+def _one(n: int, degree: float, schedule: str, seed: int) -> dict:
+    dep = random_udg(n, expected_degree=degree, seed=seed, connected=True)
+    if schedule == "synchronous":
+        ws = synchronous(dep.n)
+    else:
+        ws = uniform_random(dep.n, window=30 * dep.n, seed=seed)
+    res = run_coloring(dep, wake_slots=ws, seed=seed ^ 0x5EED)
+    report = verify_run(res)
+    return {
+        "ok": report.ok,
+        "proper": not report.proper_violations,
+        "complete": not report.undecided,
+        "temporal": not report.temporal_violations,
+        "colors": res.num_colors,
+        "slots": res.slots,
+    }
+
+
+def run(*, quick: bool = True, seeds: int = 5) -> Table:
+    """Sweep topology sizes x densities x wake-up patterns."""
+    table = Table("E1 correctness/completeness (Theorem 2, Theorem 5)")
+    configs = [(30, 7.0), (60, 10.0)] if quick else [(30, 7.0), (60, 10.0), (120, 14.0)]
+    for n, degree in configs:
+        for schedule in ("synchronous", "random"):
+            rows = sweep_seeds(
+                lambda s: _one(n, degree, schedule, s),
+                seeds=seeds,
+                master_seed=n * 1000 + int(degree),
+            )
+            table.add(
+                n=n,
+                degree=degree,
+                wakeup=schedule,
+                runs=len(rows),
+                proper_rate=float(np.mean([r["proper"] for r in rows])),
+                complete_rate=float(np.mean([r["complete"] for r in rows])),
+                temporal_rate=float(np.mean([r["temporal"] for r in rows])),
+                mean_colors=float(np.mean([r["colors"] for r in rows])),
+            )
+    table.note(
+        "paper: proper/complete/temporal rates -> 1 as constants grow "
+        "(w.p. >= 1 - 2n^-3 with the Sect. 4 constants); practical "
+        "constants trade a small failure rate for speed (see E6)"
+    )
+    return table

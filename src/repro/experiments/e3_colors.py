@@ -1,0 +1,64 @@
+"""E3 — Number of colors (Theorem 5 / Corollary 2).
+
+Paper claim: at most ``kappa_2 * Delta`` colors; on UDGs this is O(Delta),
+asymptotically optimal (a UDG with max degree Delta contains an
+Omega(Delta) clique).  We sweep density and compare the algorithm's
+max color / distinct-color count against the bound and against the
+centralized greedy reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import greedy_coloring
+from repro.core import run_coloring
+from repro.experiments.runner import Table, sweep_seeds
+from repro.graphs import random_udg
+
+__all__ = ["run"]
+
+
+def _one(n: int, degree: float, seed: int) -> dict:
+    # Connectivity is not required by the claims (times/colors are
+    # per-node and per-component); low densities often cannot connect.
+    dep = random_udg(n, expected_degree=degree, seed=seed)
+    res = run_coloring(dep, seed=seed ^ 0xC0705)
+    greedy = greedy_coloring(dep, seed=seed)
+    p = res.params
+    return {
+        "delta": p.delta,
+        "kappa2": p.kappa2,
+        "max_color": res.max_color,
+        "distinct": res.num_colors,
+        "greedy": int(greedy.max()) + 1,
+        "bound": p.kappa2 * p.delta,
+        "max_over_delta": res.max_color / p.delta,
+    }
+
+
+def run(*, quick: bool = True, seeds: int = 3) -> Table:
+    """Run the experiment; see the module docstring for the claim."""
+    table = Table("E3 colors vs Delta (Theorem 5 / Corollary 2)")
+    degrees = [6.0, 10.0, 14.0] if quick else [6.0, 10.0, 14.0, 18.0, 24.0]
+    n = 60 if quick else 150
+    for degree in degrees:
+        rows = sweep_seeds(
+            lambda s: _one(n, degree, s), seeds=seeds, master_seed=int(degree) * 31
+        )
+        table.add(
+            n=n,
+            degree=degree,
+            mean_delta=float(np.mean([r["delta"] for r in rows])),
+            max_color=int(np.max([r["max_color"] for r in rows])),
+            distinct=float(np.mean([r["distinct"] for r in rows])),
+            greedy_colors=float(np.mean([r["greedy"] for r in rows])),
+            bound_k2_delta=int(np.max([r["bound"] for r in rows])),
+            max_over_delta=float(np.max([r["max_over_delta"] for r in rows])),
+        )
+    table.note(
+        "paper: max_color <= kappa2*Delta and max_over_delta stays O(kappa2) "
+        "across the density sweep (O(Delta) colors on UDGs); greedy shows the "
+        "centralized reference the O(Delta) guarantee is within a constant of"
+    )
+    return table

@@ -1,0 +1,77 @@
+"""E6 — The constants ablation (Sect. 4's simulation remark).
+
+Paper claim: *"Simulation results show that in networks whose nodes are
+uniformly distributed at random significantly smaller values suffice.
+In fact, the constants are sufficiently small to yield a practically
+efficient coloring algorithm."*
+
+This is the experiment behind that sentence: we sweep the scale of the
+practical constants (gamma = 2*kappa2*scale, with alpha/beta/sigma tied
+as in ``Parameters.practical``) and measure the empirical failure rate
+and running time, plus the theoretical constants as the reference point
+(tiny instances only — their runtime explodes by design).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import verify_run
+from repro.core import Parameters, run_coloring
+from repro.experiments.runner import Table, sweep_seeds
+from repro.graphs import random_udg
+
+__all__ = ["run"]
+
+
+def _one(scale: float, seed: int, n: int, degree: float) -> dict:
+    dep = random_udg(n, expected_degree=degree, seed=seed, connected=True)
+    params = Parameters.for_deployment(dep, scale=scale)
+    res = run_coloring(dep, params=params, seed=seed ^ 0xAB1A)
+    ok = verify_run(res).ok
+    times = res.decision_times().astype(float)
+    return {
+        "ok": ok,
+        "t_max": float(times.max()),
+        "t_mean": float(times[times >= 0].mean()) if (times >= 0).any() else -1.0,
+        "gamma": params.gamma,
+        "threshold": params.threshold,
+    }
+
+
+def run(*, quick: bool = True, seeds: int = 6) -> Table:
+    """Run the experiment; see the module docstring for the claim."""
+    table = Table("E6 constants ablation (Sect. 4 simulation remark)")
+    n, degree = (40, 8.0) if quick else (80, 12.0)
+    scales = [0.25, 0.5, 1.0, 1.5] if quick else [0.25, 0.5, 0.75, 1.0, 1.5, 2.0]
+    for scale in scales:
+        rows = sweep_seeds(
+            lambda s: _one(scale, s, n, degree),
+            seeds=seeds,
+            master_seed=int(scale * 100),
+        )
+        table.add(
+            regime=f"practical x{scale}",
+            gamma=float(np.mean([r["gamma"] for r in rows])),
+            success_rate=float(np.mean([r["ok"] for r in rows])),
+            t_max=float(np.max([r["t_max"] for r in rows])),
+            t_mean=float(np.mean([r["t_mean"] for r in rows])),
+        )
+    # Theoretical constants: one tiny instance as the reference point.
+    dep = random_udg(12, expected_degree=5.0, seed=1, connected=True)
+    params = Parameters.for_deployment(dep, regime="theoretical")
+    res = run_coloring(dep, params=params, seed=99)
+    times = res.decision_times().astype(float)
+    table.add(
+        regime="theoretical (n=12)",
+        gamma=params.gamma,
+        success_rate=float(verify_run(res).ok),
+        t_max=float(times.max()),
+        t_mean=float(times[times >= 0].mean()),
+    )
+    table.note(
+        "paper: success rate climbs to ~1 well below the theoretical "
+        "constants (gamma in the tens vs hundreds), at a small fraction of "
+        "the theoretical running time — 'significantly smaller values suffice'"
+    )
+    return table

@@ -1,0 +1,58 @@
+"""E7 — Robustness to wake-up patterns (Sect. 2's model requirement).
+
+Paper claim: "all results hold for every, possibly even worst-case,
+wake-up pattern."  We fix a deployment and run the protocol under every
+schedule in :data:`repro.wakeup.ALL_SCHEDULES`, from synchronous through
+BFS deployment waves to the adversarial neighbor-staggered pattern, and
+compare success rates and (own-wake-relative) decision times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import verify_run
+from repro.core import run_coloring
+from repro.experiments.runner import Table, sweep_seeds
+from repro.graphs import random_udg
+from repro.wakeup import ALL_SCHEDULES
+
+__all__ = ["run"]
+
+
+def _one(schedule: str, seed: int, n: int, degree: float) -> dict:
+    dep = random_udg(n, expected_degree=degree, seed=seed, connected=True)
+    ws = ALL_SCHEDULES[schedule](dep, seed=seed + 1)
+    res = run_coloring(dep, wake_slots=ws, seed=seed ^ 0x3A3E)
+    times = res.decision_times().astype(float)
+    return {
+        "ok": verify_run(res).ok,
+        "t_max": float(times.max()),
+        "t_mean": float(times[times >= 0].mean()) if (times >= 0).any() else -1.0,
+        "span": int(ws.max() - ws.min()),
+    }
+
+
+def run(*, quick: bool = True, seeds: int = 4) -> Table:
+    """Run the experiment; see the module docstring for the claim."""
+    table = Table("E7 wake-up robustness (Sect. 2 asynchronous wake-up)")
+    n, degree = (40, 8.0) if quick else (80, 12.0)
+    for schedule in sorted(ALL_SCHEDULES):
+        rows = sweep_seeds(
+            lambda s: _one(schedule, s, n, degree),
+            seeds=seeds,
+            master_seed=abs(hash(schedule)) % 10_000,
+        )
+        table.add(
+            schedule=schedule,
+            wake_span=int(np.max([r["span"] for r in rows])),
+            success_rate=float(np.mean([r["ok"] for r in rows])),
+            t_max=float(np.max([r["t_max"] for r in rows])),
+            t_mean=float(np.mean([r["t_mean"] for r in rows])),
+        )
+    table.note(
+        "paper: success and per-node decision time (measured from each "
+        "node's own wake-up) are schedule-independent — no wake-up pattern "
+        "starves nodes"
+    )
+    return table

@@ -1,0 +1,101 @@
+"""E9 — Comparison against baselines (Sect. 3).
+
+The paper's positioning claims, reproduced as measurements:
+
+- vs the **naive-reset strawman** (Sect. 4): same machinery minus the
+  critical-range/competitor-list technique suffers cascading resets —
+  its decision-time *tail* blows up with density;
+- vs **Busch et al. [2]** restricted to one-hop (frame-based random
+  color picking): O(Delta) colors but a steeper time growth in Delta
+  (O(Delta^3 log n) in their analysis) and a much larger color count in
+  practice;
+- vs **Luby-style message passing** (Sect. 3's classic results): in the
+  idealized collision-free model, (Delta+1) colors in O(log n) *rounds*
+  — the gap between those rounds and our slots is the price of the
+  unstructured radio model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import (
+    greedy_coloring,
+    randomized_delta_plus_one,
+    run_frame_coloring,
+    run_naive_coloring,
+)
+from repro.core import run_coloring
+from repro.experiments.runner import Table, sweep_seeds
+from repro.graphs import random_udg
+
+__all__ = ["run"]
+
+
+def _one(degree: float, seed: int, n: int) -> dict:
+    # Connectivity is irrelevant for the comparison (all protocols handle
+    # components independently), and low densities often cannot connect.
+    dep = random_udg(n, expected_degree=degree, seed=seed)
+    ours = run_coloring(dep, seed=seed ^ 0xE9)
+    naive = run_naive_coloring(dep, seed=seed ^ 0xE9A)
+    frame = run_frame_coloring(dep, seed=seed ^ 0xE9B)
+    luby_colors, luby_rounds = randomized_delta_plus_one(dep, seed=seed ^ 0xE9C)
+    greedy = greedy_coloring(dep, seed=seed)
+
+    def tmax(r):
+        t = r.decision_times()
+        return float(t[t >= 0].max()) if (t >= 0).any() else float("inf")
+
+    return {
+        "delta": dep.max_degree,
+        "ours_t": tmax(ours),
+        "ours_colors": ours.max_color + 1,
+        "ours_distinct": ours.num_colors,
+        "ours_ok": ours.completed and ours.proper,
+        "naive_t": tmax(naive),
+        "naive_ok": naive.completed and naive.proper,
+        "frame_t": tmax(frame),
+        "frame_colors": frame.max_color + 1,
+        "frame_ok": frame.completed and frame.proper,
+        "luby_rounds": luby_rounds,
+        "luby_colors": int(luby_colors.max()) + 1,
+        "greedy_colors": int(greedy.max()) + 1,
+    }
+
+
+def run(*, quick: bool = True, seeds: int = 3) -> Table:
+    """Run the experiment; see the module docstring for the claim."""
+    table = Table("E9 baselines (Sect. 3 comparison)")
+    degrees = [6.0, 10.0, 14.0] if quick else [6.0, 10.0, 14.0, 18.0, 24.0]
+    n = 50 if quick else 100
+    for degree in degrees:
+        rows = sweep_seeds(
+            lambda s: _one(degree, s, n), seeds=seeds, master_seed=int(degree) * 17
+        )
+        agg = lambda k: float(np.mean([r[k] for r in rows]))  # noqa: E731
+        table.add(
+            degree=degree,
+            delta=agg("delta"),
+            ours_t_max=float(np.max([r["ours_t"] for r in rows])),
+            naive_t_max=float(np.max([r["naive_t"] for r in rows])),
+            frame_t_max=float(np.max([r["frame_t"] for r in rows])),
+            luby_rounds=agg("luby_rounds"),
+            ours_colors=agg("ours_colors"),
+            ours_distinct=agg("ours_distinct"),
+            frame_colors=agg("frame_colors"),
+            luby_colors=agg("luby_colors"),
+            greedy_colors=agg("greedy_colors"),
+            ours_ok=agg("ours_ok"),
+            naive_ok=agg("naive_ok"),
+            frame_ok=agg("frame_ok"),
+        )
+    table.note(
+        "all protocols use O(Delta) colors; Luby's O(log n) *rounds* need "
+        "the idealized collision-free model (each round hides a Theta(Delta "
+        "log n)-slot MAC realization).  Caveat (EXPERIMENTS.md): the "
+        "frame-based comparator is an in-spirit reconstruction of [2]; at "
+        "these Delta its Delta^3 asymptotics do not yet bite while our "
+        "practical constants carry a kappa_2^2 factor, so absolute times "
+        "favor it — the paper's comparison is asymptotic"
+    )
+    return table

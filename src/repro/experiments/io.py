@@ -1,0 +1,73 @@
+"""Persistence for experiment outputs.
+
+Tables and run summaries serialize to JSON so sweeps can be resumed,
+archived next to the CSVs, and diffed across versions (the golden
+regression tests in ``tests/test_golden.py`` rely on stable summaries).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+import numpy as np
+
+from repro.experiments.runner import Table
+
+__all__ = ["table_to_json", "table_from_json", "save_table", "load_table", "summary_to_jsonable"]
+
+
+def summary_to_jsonable(obj: Any) -> Any:
+    """Recursively convert numpy scalars/arrays and other summary values
+    into plain JSON-serializable Python objects."""
+    if isinstance(obj, dict):
+        return {str(k): summary_to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [summary_to_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return [summary_to_jsonable(v) for v in obj.tolist()]
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    return obj
+
+
+def table_to_json(table: Table) -> str:
+    """Serialize a Table (title, rows, notes) to a JSON string."""
+    return json.dumps(
+        {
+            "title": table.title,
+            "rows": summary_to_jsonable(table.rows),
+            "notes": list(table.notes),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def table_from_json(text: str) -> Table:
+    """Inverse of :func:`table_to_json`."""
+    data = json.loads(text)
+    t = Table(title=data["title"])
+    for row in data["rows"]:
+        t.add(**row)
+    for note in data.get("notes", []):
+        t.note(note)
+    return t
+
+
+def save_table(table: Table, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a table's JSON next to wherever the caller archives results."""
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(table_to_json(table) + "\n")
+    return p
+
+
+def load_table(path: str | pathlib.Path) -> Table:
+    """Read a table previously written by :func:`save_table`."""
+    return table_from_json(pathlib.Path(path).read_text())

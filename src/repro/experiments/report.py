@@ -1,0 +1,93 @@
+"""Consolidated reproduction report: every experiment, one document.
+
+:func:`generate_report` runs all registered experiments and assembles a
+single markdown report (tables + notes), the one-command answer to
+"does this reproduction hold?".  Used by ``examples/paper_tour.py`` and
+usable programmatically::
+
+    from repro.experiments.report import generate_report
+    text = generate_report(quick=True, seeds=2)
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from collections.abc import Iterable
+
+__all__ = ["EXPERIMENT_ORDER", "generate_report"]
+
+#: Run order: paper claims first, extensions after.
+EXPERIMENT_ORDER = [
+    "e1_correctness",
+    "e2_time_scaling",
+    "e3_colors",
+    "e4_locality",
+    "e5_kappa",
+    "e6_constants",
+    "e7_wakeup",
+    "e8_lemmas",
+    "e9_baselines",
+    "e10_tdma",
+    "e11_estimates",
+    "e12_local_delta",
+    "e13_unaligned",
+    "e14_energy",
+    "e15_incremental",
+    "e16_leader_failure",
+    "e17_channels",
+]
+
+
+def generate_report(
+    *,
+    quick: bool = True,
+    seeds: int | None = None,
+    only: Iterable[str] | None = None,
+    progress=None,
+) -> str:
+    """Run experiments and return a markdown report.
+
+    Parameters
+    ----------
+    quick:
+        Use the fast configurations (default) or the full sweeps.
+    seeds:
+        Seeds per configuration (each experiment's default when ``None``).
+    only:
+        Restrict to a subset of module names (e.g. ``["e1_correctness"]``).
+    progress:
+        Optional callable ``(name, seconds, table) -> None`` invoked after
+        each experiment (for live output).
+    """
+    selected = list(only) if only is not None else EXPERIMENT_ORDER
+    unknown = set(selected) - set(EXPERIMENT_ORDER)
+    if unknown:
+        raise ValueError(f"unknown experiments: {sorted(unknown)}")
+
+    lines = [
+        "# Reproduction report — Coloring Unstructured Radio Networks",
+        "",
+        f"mode: {'quick' if quick else 'full'}"
+        + (f", seeds={seeds}" if seeds is not None else ""),
+        "",
+    ]
+    for name in EXPERIMENT_ORDER:
+        if name not in selected:
+            continue
+        mod = importlib.import_module(f"repro.experiments.{name}")
+        kwargs = {"quick": quick}
+        if seeds is not None:
+            kwargs["seeds"] = seeds
+        t0 = time.perf_counter()
+        table = mod.run(**kwargs)
+        dt = time.perf_counter() - t0
+        if progress is not None:
+            progress(name, dt, table)
+        lines.append(f"## {name}  ({dt:.1f}s)")
+        lines.append("")
+        lines.append("```")
+        lines.append(table.render())
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Shared experiment infrastructure: seeded repetition and text tables.
+
+Experiments print the same kind of row-oriented tables the paper's
+claims imply (there are no numeric tables in the journal paper itself;
+each of our tables *is* the regenerated evidence for one claim).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro._util import RngStream
+
+__all__ = ["Table", "sweep_seeds"]
+
+
+@dataclass
+class Table:
+    """A list of homogeneous dict rows with aligned text rendering."""
+
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **row: Any) -> None:
+        """Append one row (keyword arguments become columns)."""
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        """Attach a footnote (rendered as a # comment line)."""
+        self.notes.append(text)
+
+    def columns(self) -> list[str]:
+        """Column names in first-seen order across all rows."""
+        cols: list[str] = []
+        for row in self.rows:
+            for k in row:
+                if k not in cols:
+                    cols.append(k)
+        return cols
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "nan"
+            if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+                return f"{value:.3g}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    def render(self) -> str:
+        """Aligned plain-text rendering (what the benches print)."""
+        cols = self.columns()
+        cells = [[self._fmt(r.get(c, "")) for c in cols] for r in self.rows]
+        widths = [
+            max(len(c), *(len(row[i]) for row in cells)) if cells else len(c)
+            for i, c in enumerate(cols)
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"# {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+    def to_csv(self) -> str:
+        """CSV rendering (header + rows; notes become # comment lines)."""
+        import csv
+        import io
+
+        cols = self.columns()
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(cols)
+        for row in self.rows:
+            writer.writerow([row.get(c, "") for c in cols])
+        for note in self.notes:
+            buf.write(f"# {note}\n")
+        return buf.getvalue()
+
+
+def sweep_seeds(
+    fn: Callable[[int], dict[str, Any]],
+    *,
+    seeds: Iterable[int] | int,
+    master_seed: int = 0,
+) -> list[dict[str, Any]]:
+    """Run ``fn(seed)`` over a seed set (an iterable, or a count expanded
+    from ``master_seed``) and return the per-run dicts."""
+    if isinstance(seeds, int):
+        stream = RngStream(master_seed)
+        seed_list = [stream.child_seed() for _ in range(seeds)]
+    else:
+        seed_list = list(seeds)
+    return [fn(s) for s in seed_list]
+
+
+def aggregate(rows: list[dict[str, Any]], key: str) -> dict[str, float]:
+    """Mean/max of a numeric column across runs."""
+    vals = np.array([float(r[key]) for r in rows], dtype=float)
+    return {"mean": float(vals.mean()), "max": float(vals.max())}

@@ -1,0 +1,71 @@
+"""Graph-model substrate: the network topologies the paper studies.
+
+The paper models a radio network as a *bounded independence graph* (BIG)
+characterized by ``kappa_1`` / ``kappa_2``, the largest independent-set
+sizes inside any 1-hop / 2-hop neighborhood (Sect. 2).  This package
+provides
+
+- :class:`~repro.graphs.deployment.Deployment` — the container every other
+  subsystem consumes (graph + optional geometry + cached adjacency);
+- unit disk graphs (:mod:`repro.graphs.udg`): uniform, grid, and clustered
+  deployments (``kappa_1 <= 5``, ``kappa_2 <= 18``);
+- generalized BIGs (:mod:`repro.graphs.big`): quasi-UDGs, wall-obstacle
+  models, Bernoulli-fading graphs — the irregular-propagation settings
+  Fig. 1 motivates;
+- unit ball graphs over doubling metrics (:mod:`repro.graphs.ubg`) for
+  Lemma 9 / Corollary 3;
+- exact and greedy independence-number computation
+  (:mod:`repro.graphs.independence`) for measuring ``kappa_1``/``kappa_2``;
+- deterministic stress topologies (:mod:`repro.graphs.generators`).
+"""
+
+from repro.graphs.big import (
+    bernoulli_fading,
+    from_graph,
+    quasi_udg,
+    wall_obstacle_udg,
+)
+from repro.graphs.deployment import Deployment
+from repro.graphs.generators import (
+    clique_deployment,
+    path_deployment,
+    ring_deployment,
+    star_deployment,
+)
+from repro.graphs.independence import (
+    UDG_KAPPA1,
+    UDG_KAPPA2,
+    kappa1,
+    kappa2,
+    kappas,
+    max_independent_set_size,
+    mis_greedy_size,
+)
+from repro.graphs.torus import torus_udg
+from repro.graphs.ubg import doubling_grid_ubg, unit_ball_graph
+from repro.graphs.udg import clustered_udg, grid_udg, random_udg
+
+__all__ = [
+    "Deployment",
+    "UDG_KAPPA1",
+    "UDG_KAPPA2",
+    "bernoulli_fading",
+    "clique_deployment",
+    "clustered_udg",
+    "doubling_grid_ubg",
+    "from_graph",
+    "grid_udg",
+    "kappa1",
+    "kappa2",
+    "kappas",
+    "max_independent_set_size",
+    "mis_greedy_size",
+    "path_deployment",
+    "quasi_udg",
+    "random_udg",
+    "ring_deployment",
+    "star_deployment",
+    "torus_udg",
+    "unit_ball_graph",
+    "wall_obstacle_udg",
+]

@@ -1,0 +1,162 @@
+"""Bounded-independence graphs beyond the unit disk.
+
+Fig. 1 of the paper motivates the BIG model with topologies a UDG cannot
+express: obstacles destroy the disk shape of transmission regions, fading
+and reflection make links irregular.  These generators produce such
+graphs while keeping ``kappa_1`` / ``kappa_2`` small:
+
+- :func:`quasi_udg` — the standard quasi-UDG: links certain below
+  ``r_in``, impossible above ``r_out``, Bernoulli in between;
+- :func:`wall_obstacle_udg` — a UDG with wall segments that block any
+  link crossing them (shadowing by obstacles);
+- :func:`bernoulli_fading` — independent link erasures on top of a UDG
+  (long-term fading / shielding);
+- :func:`from_graph` — wrap an arbitrary graph as a deployment (for
+  hand-built BIG examples like the paper's Fig. 1).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro._util import spawn_generator
+from repro.graphs.deployment import Deployment
+from repro.graphs.udg import udg_from_points
+
+__all__ = ["quasi_udg", "wall_obstacle_udg", "bernoulli_fading", "from_graph"]
+
+
+def from_graph(graph: nx.Graph, kind: str = "explicit", **meta: object) -> Deployment:
+    """Wrap an explicit graph (relabeling nodes to ``0..n-1`` if needed)."""
+    n = graph.number_of_nodes()
+    if set(graph.nodes) != set(range(n)):
+        graph = nx.convert_node_labels_to_integers(graph, ordering="sorted")
+    return Deployment(graph=nx.Graph(graph), kind=kind, meta=dict(meta))
+
+
+def quasi_udg(
+    n: int,
+    r_in: float,
+    r_out: float,
+    side: float,
+    *,
+    link_prob: float = 0.5,
+    seed: int | None = None,
+) -> Deployment:
+    """Quasi unit disk graph.
+
+    Nodes at distance ``<= r_in`` are always linked; at distance in
+    ``(r_in, r_out]`` a link exists independently with ``link_prob``; above
+    ``r_out`` never.  With ``r_out / r_in`` bounded, this stays a BIG with
+    constants depending only on the ratio.
+    """
+    if not 0 < r_in <= r_out:
+        raise ValueError(f"need 0 < r_in <= r_out, got {r_in}, {r_out}")
+    rng = spawn_generator(seed)
+    pts = rng.uniform(0.0, side, size=(n, 2))
+    # Start from the certain links, then sample the gray zone.
+    dep = udg_from_points(pts, r_in, kind="quasi_udg")
+    g = dep.graph
+    outer = udg_from_points(pts, r_out, kind="tmp").graph
+    for u, v in outer.edges:
+        if not g.has_edge(u, v) and rng.random() < link_prob:
+            g.add_edge(u, v)
+    return Deployment(
+        graph=g,
+        positions=pts,
+        kind="quasi_udg",
+        meta={"r_in": r_in, "r_out": r_out, "link_prob": link_prob, "side": side},
+    )
+
+
+def _segments_intersect(p1, p2, q1, q2) -> bool:
+    """Proper/improper segment intersection via orientation tests."""
+
+    def orient(a, b, c) -> float:
+        return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+
+    def on_seg(a, b, c) -> bool:
+        return (
+            min(a[0], b[0]) - 1e-12 <= c[0] <= max(a[0], b[0]) + 1e-12
+            and min(a[1], b[1]) - 1e-12 <= c[1] <= max(a[1], b[1]) + 1e-12
+        )
+
+    d1 = orient(q1, q2, p1)
+    d2 = orient(q1, q2, p2)
+    d3 = orient(p1, p2, q1)
+    d4 = orient(p1, p2, q2)
+    if ((d1 > 0) != (d2 > 0)) and ((d3 > 0) != (d4 > 0)):
+        return True
+    if abs(d1) < 1e-12 and on_seg(q1, q2, p1):
+        return True
+    if abs(d2) < 1e-12 and on_seg(q1, q2, p2):
+        return True
+    if abs(d3) < 1e-12 and on_seg(p1, p2, q1):
+        return True
+    if abs(d4) < 1e-12 and on_seg(p1, p2, q2):
+        return True
+    return False
+
+
+def wall_obstacle_udg(
+    n: int,
+    radius: float,
+    side: float,
+    walls: list[tuple[tuple[float, float], tuple[float, float]]],
+    *,
+    seed: int | None = None,
+) -> Deployment:
+    """UDG with line-segment obstacles that block crossing links.
+
+    Each wall is ``((x1, y1), (x2, y2))``.  A link exists iff the two
+    endpoints are within ``radius`` *and* the straight line between them
+    crosses no wall — exactly the "wall in physical proximity of a sender"
+    scenario of Sect. 2.  The result is generally not a UDG but remains a
+    BIG with modest ``kappa`` values (E5 measures them).
+    """
+    rng = spawn_generator(seed)
+    pts = rng.uniform(0.0, side, size=(n, 2))
+    dep = udg_from_points(pts, radius, kind="wall_udg")
+    g = dep.graph
+    blocked = [
+        (u, v)
+        for u, v in g.edges
+        for w1, w2 in walls
+        if _segments_intersect(pts[u], pts[v], w1, w2)
+    ]
+    g.remove_edges_from(blocked)
+    return Deployment(
+        graph=g,
+        positions=pts,
+        kind="wall_udg",
+        meta={"radius": radius, "side": side, "walls": walls, "blocked": len(blocked)},
+    )
+
+
+def bernoulli_fading(
+    base: Deployment,
+    erase_prob: float,
+    *,
+    seed: int | None = None,
+) -> Deployment:
+    """Erase each link of ``base`` independently with ``erase_prob``.
+
+    Models long-term fading/shielding: the surviving graph keeps the
+    geometry but loses the clean disk structure, raising ``kappa`` values
+    slightly (measured in E5).
+    """
+    if not 0.0 <= erase_prob <= 1.0:
+        raise ValueError(f"erase_prob must be in [0,1], got {erase_prob}")
+    rng = spawn_generator(seed)
+    g = nx.Graph()
+    g.add_nodes_from(range(base.n))
+    for u, v in base.graph.edges:
+        if rng.random() >= erase_prob:
+            g.add_edge(u, v)
+    return Deployment(
+        graph=g,
+        positions=None if base.positions is None else base.positions.copy(),
+        kind=f"{base.kind}+fading",
+        meta={**base.meta, "erase_prob": erase_prob},
+    )

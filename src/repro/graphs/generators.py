@@ -1,0 +1,53 @@
+"""Deterministic stress topologies.
+
+Rings, paths, cliques, and stars are the classic corner cases for
+distributed coloring (the ring is the subject of Linial's lower bound
+discussed in Sect. 3).  They double as fast deterministic fixtures for
+the unit tests: no randomness in construction, known ``Delta``,
+``kappa_1``, ``kappa_2``.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graphs.big import from_graph
+from repro.graphs.deployment import Deployment
+
+__all__ = [
+    "ring_deployment",
+    "path_deployment",
+    "clique_deployment",
+    "star_deployment",
+]
+
+
+def ring_deployment(n: int) -> Deployment:
+    """Cycle ``C_n``.  ``Delta = 3`` (closed degree); for ``n >= 5``,
+    ``kappa_1 = 2`` and ``kappa_2 = 3``."""
+    if n < 3:
+        raise ValueError("a ring needs n >= 3")
+    return from_graph(nx.cycle_graph(n), kind="ring", n=n)
+
+
+def path_deployment(n: int) -> Deployment:
+    """Path ``P_n``."""
+    if n < 1:
+        raise ValueError("a path needs n >= 1")
+    return from_graph(nx.path_graph(n), kind="path", n=n)
+
+
+def clique_deployment(n: int) -> Deployment:
+    """Complete graph ``K_n``: the worst case for color count —
+    every proper coloring needs n colors; ``kappa_1 = kappa_2 = 1``."""
+    if n < 1:
+        raise ValueError("a clique needs n >= 1")
+    return from_graph(nx.complete_graph(n), kind="clique", n=n)
+
+
+def star_deployment(leaves: int) -> Deployment:
+    """Star ``K_{1,leaves}``: hub 0, maximal ``kappa_1`` for its degree
+    (all leaves are mutually independent)."""
+    if leaves < 1:
+        raise ValueError("a star needs >= 1 leaf")
+    return from_graph(nx.star_graph(leaves), kind="star", leaves=leaves)

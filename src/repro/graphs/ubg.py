@@ -1,0 +1,78 @@
+"""Unit ball graphs over doubling metrics (Lemma 9 / Corollary 3).
+
+A unit ball graph (UBG) connects two points of a metric space iff their
+distance is at most 1.  Lemma 9 shows ``kappa_2 <= 4^rho`` where ``rho``
+is the metric's doubling dimension; Corollary 3 then gives
+``O(4^rho * Delta)`` colors and ``O(4^{4 rho} * Delta * log n)`` time.
+
+:func:`unit_ball_graph` accepts an arbitrary metric callable;
+:func:`doubling_grid_ubg` samples points from ``[0, side]^d`` under the
+``l_inf`` norm — a metric of doubling dimension exactly ``d`` — so the
+E5 bench can sweep ``rho`` and check ``kappa_2 <= 4^rho`` empirically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import networkx as nx
+import numpy as np
+
+from repro._util import spawn_generator
+from repro.graphs.deployment import Deployment
+
+__all__ = ["unit_ball_graph", "doubling_grid_ubg"]
+
+Metric = Callable[[np.ndarray, np.ndarray], float]
+
+
+def unit_ball_graph(
+    points: np.ndarray,
+    metric: Metric | str = "linf",
+    *,
+    radius: float = 1.0,
+    kind: str = "ubg",
+) -> Deployment:
+    """UBG over explicit points under a metric.
+
+    ``metric`` may be ``"l2"``, ``"l1"``, ``"linf"``, or any callable
+    ``(p, q) -> float`` satisfying the metric axioms (not checked).
+    Pairwise distances are O(n^2); UBG instances in the benches are small.
+    """
+    pts = np.asarray(points, dtype=float)
+    n = pts.shape[0]
+    if isinstance(metric, str):
+        order = {"l1": 1, "l2": 2, "linf": np.inf}.get(metric)
+        if order is None:
+            raise ValueError(f"unknown metric name {metric!r}")
+        diffs = pts[:, None, :] - pts[None, :, :]
+        dist = np.linalg.norm(diffs, ord=order, axis=2)
+    else:
+        dist = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                dist[i, j] = dist[j, i] = float(metric(pts[i], pts[j]))
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    iu, ju = np.where(np.triu(dist <= radius, k=1))
+    g.add_edges_from(zip(iu.tolist(), ju.tolist()))
+    return Deployment(graph=g, positions=pts, kind=kind, meta={"radius": radius})
+
+
+def doubling_grid_ubg(
+    n: int,
+    dim: int,
+    side: float,
+    *,
+    seed: int | None = None,
+) -> Deployment:
+    """Random points in ``[0, side]^dim`` under ``l_inf``: doubling
+    dimension ``rho = dim`` (each l_inf ball of radius d is covered by
+    exactly ``2^dim`` balls of radius d/2)."""
+    if dim < 1:
+        raise ValueError("dim must be >= 1")
+    rng = spawn_generator(seed)
+    pts = rng.uniform(0.0, side, size=(n, dim))
+    dep = unit_ball_graph(pts, "linf", kind="ubg_linf")
+    dep.meta.update({"dim": dim, "side": side, "doubling_dimension": dim})
+    return dep

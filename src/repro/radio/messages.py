@@ -1,0 +1,113 @@
+"""The four message types of the coloring algorithm (Sect. 4).
+
+The paper uses:
+
+- ``M_A^i(v, c_v)`` — a node in verification state ``A_i`` reporting its
+  counter: :class:`CounterMessage`;
+- ``M_C^i(v)`` — a node in color class ``C_i`` announcing its color:
+  :class:`ColorMessage`;
+- ``M_C^0(v, w, tc)`` — a *leader* assigning intra-cluster color ``tc``
+  to node ``w``: :class:`AssignMessage` (a ``ColorMessage`` with color 0
+  plus the assignment payload, so every state that reacts to "a neighbor
+  is in C_0" also reacts to assignments it overhears);
+- ``M_R(v, L(v))`` — a node in the request state asking its leader for an
+  intra-cluster color: :class:`RequestMessage`.
+
+All messages are frozen dataclasses: the engine hands *the same object*
+to every receiver, so immutability is what makes broadcast safe.
+
+:func:`message_bits` computes an information-theoretic size estimate so
+tests can verify the model's ``O(log n)`` bound (Sect. 2): IDs take
+``3 log2 n`` bits (random IDs from ``[1..n^3]``), counters and colors
+``O(log n)`` bits each for the values the algorithm actually produces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "Message",
+    "CounterMessage",
+    "ColorMessage",
+    "AssignMessage",
+    "RequestMessage",
+    "message_bits",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """Base class: every message carries its sender's ID."""
+
+    sender: int
+
+
+@dataclass(frozen=True, slots=True)
+class CounterMessage(Message):
+    """``M_A^i(v, c_v)``: sender ``v`` in state ``A_color`` reports counter
+    ``c_v``.  Receivers use it to maintain competitor lists (Alg. 1, L27-29)."""
+
+    color: int
+    counter: int
+
+
+@dataclass(frozen=True, slots=True)
+class ColorMessage(Message):
+    """``M_C^i(v)``: sender has irrevocably decided on ``color``.
+    Knocks same-``A_color`` neighbors into their successor state
+    (Alg. 1, L10-13 and L23-26)."""
+
+    color: int
+
+
+@dataclass(frozen=True, slots=True)
+class AssignMessage(ColorMessage):
+    """``M_C^0(v, w, tc)``: leader ``v`` assigns intra-cluster color ``tc``
+    to ``target`` (Alg. 3, L19).  ``color`` is always 0 — only leaders
+    assign — so overhearing nodes in ``A_0`` treat it as a plain leader
+    announcement."""
+
+    target: int
+    tc: int
+
+    def __post_init__(self) -> None:
+        if self.color != 0:
+            raise ValueError("only leaders (color 0) send assignments")
+
+
+@dataclass(frozen=True, slots=True)
+class RequestMessage(Message):
+    """``M_R(v, L(v))``: sender requests an intra-cluster color from
+    ``leader`` (Alg. 2, L2).  Only the addressed leader queues it
+    (Alg. 3, L10)."""
+
+    leader: int
+
+
+def message_bits(msg: Message, n: int) -> int:
+    """Size estimate of ``msg`` in bits for a network of ``n`` nodes.
+
+    IDs cost ``ceil(3 log2 n)`` bits (random IDs drawn from ``[1..n^3]``,
+    Sect. 2); counter/color/tc fields cost the bits of their current
+    value.  A small constant covers the message-type tag.
+    """
+    if n < 2:
+        n = 2
+    id_bits = math.ceil(3 * math.log2(n))
+    bits = 3 + id_bits  # type tag + sender
+    if isinstance(msg, AssignMessage):
+        bits += id_bits + _value_bits(msg.tc) + _value_bits(msg.color)
+    elif isinstance(msg, ColorMessage):
+        bits += _value_bits(msg.color)
+    elif isinstance(msg, CounterMessage):
+        bits += _value_bits(msg.color) + _value_bits(msg.counter)
+    elif isinstance(msg, RequestMessage):
+        bits += id_bits
+    return bits
+
+
+def _value_bits(value: int) -> int:
+    """Bits to encode a (possibly negative) bounded integer."""
+    return 1 + max(1, abs(int(value))).bit_length()

@@ -1,0 +1,133 @@
+"""Event recording for simulation runs.
+
+Analysis (Theorem 2's *at all times* independence, Lemma 6's counter
+floor, per-node decision times) needs to observe the run, not just the
+final coloring.  :class:`TraceRecorder` collects:
+
+- cheap always-on counters: per-node transmissions, receptions, and
+  collision-slots (slots in which >= 2 neighbors transmitted at a
+  listening node — the node itself cannot observe this, but the
+  omniscient trace can);
+- an event list for the rare, analysis-relevant events: wake-ups, state
+  transitions, decisions (``level >= 1``);
+- optionally every transmission/reception (``level >= 2``; large).
+
+The recorder is deliberately engine-agnostic: protocol nodes emit
+``state`` / ``decide`` events through it, the engine emits channel
+events, and analysis replays the ordered event list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One recorded event.
+
+    ``kind`` is one of ``"wake"``, ``"state"``, ``"decide"``, ``"tx"``,
+    ``"rx"``, ``"collision"``; ``data`` carries kind-specific payload
+    (e.g. ``{"state": "A_3"}`` or ``{"color": 7}``).
+    """
+
+    slot: int
+    node: int
+    kind: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects events and counters for one simulation run.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (sizes the counter arrays).
+    level:
+        0 = counters only; 1 = plus wake/state/decide events (default);
+        2 = plus every tx/rx/collision event (memory-heavy, tests only).
+    """
+
+    def __init__(self, n: int, level: int = 1) -> None:
+        self.n = int(n)
+        self.level = int(level)
+        self.events: list[TraceEvent] = []
+        self.tx_count = np.zeros(self.n, dtype=np.int64)
+        self.rx_count = np.zeros(self.n, dtype=np.int64)
+        self.collision_count = np.zeros(self.n, dtype=np.int64)
+        self.wake_slot = np.full(self.n, -1, dtype=np.int64)
+        self.decide_slot = np.full(self.n, -1, dtype=np.int64)
+        self.decide_color = np.full(self.n, -1, dtype=np.int64)
+
+    # -- protocol-side hooks ------------------------------------------------
+    def wake(self, slot: int, node: int) -> None:
+        """Record a wake-up."""
+        self.wake_slot[node] = slot
+        if self.level >= 1:
+            self.events.append(TraceEvent(slot, node, "wake"))
+
+    def state(self, slot: int, node: int, state: str) -> None:
+        """Record a state transition (level >= 1)."""
+        if self.level >= 1:
+            self.events.append(TraceEvent(slot, node, "state", {"state": state}))
+
+    def decide(self, slot: int, node: int, color: int) -> None:
+        """Record an irrevocable color decision."""
+        self.decide_slot[node] = slot
+        self.decide_color[node] = color
+        if self.level >= 1:
+            self.events.append(TraceEvent(slot, node, "decide", {"color": color}))
+
+    # -- engine-side hooks ---------------------------------------------------
+    def tx(self, slot: int, node: int, msg: Any) -> None:
+        """Count (and at level 2, log) a transmission."""
+        self.tx_count[node] += 1
+        if self.level >= 2:
+            self.events.append(TraceEvent(slot, node, "tx", {"msg": msg}))
+
+    def rx(self, slot: int, node: int, msg: Any) -> None:
+        """Count (and at level 2, log) a reception."""
+        self.rx_count[node] += 1
+        if self.level >= 2:
+            self.events.append(TraceEvent(slot, node, "rx", {"msg": msg}))
+
+    def collision(self, slot: int, node: int, senders: int) -> None:
+        """Count (and at level 2, log) a collided listener slot."""
+        self.collision_count[node] += 1
+        if self.level >= 2:
+            self.events.append(
+                TraceEvent(slot, node, "collision", {"senders": senders})
+            )
+
+    # -- queries --------------------------------------------------------------
+    def decision_times(self) -> np.ndarray:
+        """Per-node ``T_v`` = decide slot - wake slot (the paper's time
+        complexity measure); -1 where the node never decided."""
+        out = np.full(self.n, -1, dtype=np.int64)
+        decided = (self.decide_slot >= 0) & (self.wake_slot >= 0)
+        out[decided] = self.decide_slot[decided] - self.wake_slot[decided]
+        return out
+
+    def events_of_kind(self, kind: str) -> list[TraceEvent]:
+        """All recorded events of one kind, in insertion order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate counters for reports."""
+        times = self.decision_times()
+        decided = times[times >= 0]
+        return {
+            "n": self.n,
+            "decided": int((self.decide_slot >= 0).sum()),
+            "tx_total": int(self.tx_count.sum()),
+            "rx_total": int(self.rx_count.sum()),
+            "collision_total": int(self.collision_count.sum()),
+            "t_max": int(decided.max()) if decided.size else -1,
+            "t_mean": float(decided.mean()) if decided.size else -1.0,
+        }

@@ -1,0 +1,75 @@
+"""Distance-2 colorings: the fully collision-free TDMA reference.
+
+Sect. 1 of the paper: *"It is typically argued that the structure needed
+to ensure collision-freedom is a coloring of the square of the graph,
+i.e., a valid distance 2-coloring"* — and constructing one from scratch
+is explicitly left as future work (Sect. 6: "a first step towards the
+goal of establishing an efficient collision-free TDMA schedule").
+
+This module provides the *centralized* reference: greedy coloring of
+``G^2``.  It lets the E10/TDMA analysis compare the paper's 1-hop
+schedule (zero direct interference, at most ``kappa_1`` residual 2-hop
+interferers, short frames) against the fully collision-free alternative
+(zero interference everywhere, but frames up to ``kappa_2 * Delta``
+longer) — the very trade-off Sect. 1 discusses, with [22]'s observation
+that distance-2 can be "too restrictive".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.deployment import Deployment
+from repro.tdma.schedule import TdmaSchedule, build_schedule
+
+__all__ = ["distance2_coloring", "distance2_schedule", "is_distance2_proper"]
+
+
+def distance2_coloring(dep: Deployment, *, order: str = "degree") -> np.ndarray:
+    """Greedy coloring of the square graph ``G^2``.
+
+    ``order`` is ``"degree"`` (largest 2-hop neighborhood first;
+    Welsh-Powell style) or ``"index"``.  Uses at most
+    ``max_v |N_v^2|`` colors, which Lemma 1 bounds by ``kappa_2 * Delta``.
+    """
+    n = dep.n
+    two_hop = dep.two_hop
+    if order == "degree":
+        node_order = sorted(range(n), key=lambda v: -len(two_hop[v]))
+    elif order == "index":
+        node_order = list(range(n))
+    else:
+        raise ValueError(f"unknown order {order!r}")
+    colors = np.full(n, -1, dtype=np.int64)
+    for v in node_order:
+        taken = {int(colors[u]) for u in two_hop[v] if u != v and colors[u] >= 0}
+        c = 0
+        while c in taken:
+            c += 1
+        colors[v] = c
+    return colors
+
+
+def is_distance2_proper(dep: Deployment, colors: np.ndarray) -> bool:
+    """Whether no two distinct nodes *within distance 2 of each other*
+    share a color (note: two nodes of the same 2-hop neighborhood may be
+    up to 4 hops apart and are allowed to share)."""
+    colors = np.asarray(colors)
+    for v in range(dep.n):
+        if colors[v] < 0:
+            continue
+        others = dep.two_hop[v]
+        others = others[others != v]
+        if (colors[others] == colors[v]).any():
+            return False
+    return True
+
+
+def distance2_schedule(dep: Deployment, *, order: str = "degree") -> TdmaSchedule:
+    """Fully collision-free TDMA schedule from a distance-2 coloring.
+
+    Every transmission in :func:`repro.tdma.schedule.simulate_frame` of
+    this schedule is received by *all* awake neighbors: no slot has two
+    transmitters within two hops of each other.
+    """
+    return build_schedule(dep, distance2_coloring(dep, order=order))

@@ -1,0 +1,120 @@
+"""Coloring -> TDMA schedule construction and evaluation.
+
+The mapping is the paper's: color ``c`` owns slot ``c`` of a frame whose
+global length is ``max color + 1``.  Locally, a node's *effective* frame
+is only as long as the highest color in its 2-hop neighborhood — nodes
+in sparse regions cycle faster (the bandwidth model behind Theorem 4's
+locality discussion).
+
+:func:`simulate_frame` replays one global frame on the radio engine with
+every node transmitting deterministically in its own slot, and returns
+who received what — an end-to-end check that the coloring really yields
+a direct-interference-free MAC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.deployment import Deployment
+
+__all__ = ["TdmaSchedule", "build_schedule", "simulate_frame"]
+
+
+@dataclass
+class TdmaSchedule:
+    """A TDMA MAC derived from a proper coloring."""
+
+    deployment: Deployment
+    slots: np.ndarray  #: per-node slot (= color)
+    frame_length: int  #: global frame length (max color + 1)
+    local_frame: np.ndarray  #: per-node local frame (max color in N_v^2 + 1)
+
+    @property
+    def bandwidth_share(self) -> np.ndarray:
+        """Per-node fraction of airtime under local frames: ``1/local``."""
+        return 1.0 / np.maximum(self.local_frame, 1)
+
+    def direct_interference_pairs(self) -> list[tuple[int, int]]:
+        """Adjacent pairs sharing a slot (empty iff the coloring was proper)."""
+        s = self.slots
+        return [(u, v) for u, v in self.deployment.graph.edges if s[u] == s[v]]
+
+    def max_interferers(self) -> int:
+        """Worst case over (receiver, slot) of simultaneously transmitting
+        neighbors — bounded by ``kappa_1`` for proper colorings."""
+        worst = 0
+        for u in range(self.deployment.n):
+            neigh = self.deployment.neighbors[u]
+            if neigh.size:
+                _, counts = np.unique(self.slots[neigh], return_counts=True)
+                worst = max(worst, int(counts.max()))
+        return worst
+
+    def stats(self) -> dict[str, float]:
+        """Headline schedule numbers (frame, interference, bandwidth)."""
+        bw = self.bandwidth_share
+        return {
+            "frame_length": int(self.frame_length),
+            "direct_interference": len(self.direct_interference_pairs()),
+            "max_interferers": self.max_interferers(),
+            "bandwidth_min": float(bw.min()) if bw.size else 0.0,
+            "bandwidth_mean": float(bw.mean()) if bw.size else 0.0,
+            "bandwidth_max": float(bw.max()) if bw.size else 0.0,
+        }
+
+
+def build_schedule(dep: Deployment, colors: np.ndarray) -> TdmaSchedule:
+    """Build the schedule for a complete coloring (every node colored)."""
+    colors = np.asarray(colors, dtype=np.int64)
+    if colors.shape != (dep.n,):
+        raise ValueError(f"colors must have shape ({dep.n},)")
+    if (colors < 0).any():
+        raise ValueError("schedule requires a complete coloring (no -1 entries)")
+    frame = int(colors.max()) + 1 if dep.n else 0
+    local = np.array(
+        [int(colors[dep.two_hop[v]].max()) + 1 for v in range(dep.n)],
+        dtype=np.int64,
+    )
+    return TdmaSchedule(
+        deployment=dep, slots=colors.copy(), frame_length=frame, local_frame=local
+    )
+
+
+def simulate_frame(schedule: TdmaSchedule) -> dict[str, object]:
+    """Replay one global TDMA frame slot-by-slot under the radio model's
+    reception rule and tally outcomes per (receiver, slot):
+
+    - ``delivered``: receptions (exactly one transmitting neighbor);
+    - ``interfered``: slots lost to >= 2 transmitting neighbors (possible
+      across 2 hops even with a proper 1-hop coloring — the residual the
+      paper's Sect. 1 discussion acknowledges).
+
+    A proper coloring guarantees the *sender side*: every node's own slot
+    is shared by none of its neighbors, so its transmission never
+    collides with a neighbor's at the node itself.
+    """
+    dep = schedule.deployment
+    slots = schedule.slots
+    delivered = 0
+    interfered = 0
+    per_node_heard = np.zeros(dep.n, dtype=np.int64)
+    for t in range(schedule.frame_length):
+        transmitting = slots == t
+        for u in range(dep.n):
+            if transmitting[u]:
+                continue  # transmitters cannot receive (model rule)
+            senders = int(transmitting[dep.neighbors[u]].sum())
+            if senders == 1:
+                delivered += 1
+                per_node_heard[u] += 1
+            elif senders >= 2:
+                interfered += 1
+    return {
+        "delivered": delivered,
+        "interfered": interfered,
+        "heard_per_node": per_node_heard,
+        "frame_length": schedule.frame_length,
+    }

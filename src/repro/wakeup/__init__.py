@@ -1,0 +1,56 @@
+"""Asynchronous wake-up patterns (Sect. 2).
+
+The unstructured radio network model makes *no* assumption about wake-up
+times: results must hold for every, possibly worst-case, pattern.  The
+paper names the two extremes explicitly — all nodes synchronously, or
+sequentially with long waiting periods — and the E7 bench runs the
+algorithm across this whole family:
+
+- :func:`synchronous` — everyone at slot 0;
+- :func:`uniform_random` — i.i.d. uniform over a window;
+- :func:`sequential` — one node per ``gap`` slots (the paper's "long
+  waiting periods" extreme when ``gap`` exceeds a node's solo runtime);
+- :func:`batched` — groups of nodes in widely spaced batches;
+- :func:`bfs_wave` — a wave front expanding from a root (models physical
+  deployment sweeps: a node's neighbors wake just as it is mid-protocol,
+  stressing the "no information whether neighbors already started" part
+  of the model);
+- :func:`staggered_neighbors` — adversarial-flavored: neighbors are
+  forced into *different* wake batches via a greedy graph coloring, so a
+  node never starts together with any neighbor.
+"""
+
+from repro.wakeup.schedules import (
+    batched,
+    bfs_wave,
+    poisson_arrivals,
+    sequential,
+    staggered_neighbors,
+    synchronous,
+    uniform_random,
+)
+
+__all__ = [
+    "batched",
+    "bfs_wave",
+    "poisson_arrivals",
+    "sequential",
+    "staggered_neighbors",
+    "synchronous",
+    "uniform_random",
+    "ALL_SCHEDULES",
+]
+
+#: name -> factory(deployment, seed) for sweep harnesses.  Gaps/windows are
+#: schedule-appropriate defaults relative to deployment size.
+ALL_SCHEDULES = {
+    "synchronous": lambda dep, seed=None: synchronous(dep.n),
+    "uniform_random": lambda dep, seed=None: uniform_random(
+        dep.n, window=max(1, 20 * dep.n), seed=seed
+    ),
+    "sequential": lambda dep, seed=None: sequential(dep.n, gap=50, seed=seed),
+    "batched": lambda dep, seed=None: batched(dep.n, batch_size=max(1, dep.n // 4), gap=500, seed=seed),
+    "bfs_wave": lambda dep, seed=None: bfs_wave(dep, gap=30, seed=seed),
+    "staggered_neighbors": lambda dep, seed=None: staggered_neighbors(dep, gap=200),
+    "poisson": lambda dep, seed=None: poisson_arrivals(dep.n, rate=0.05, seed=seed),
+}

@@ -1,0 +1,123 @@
+"""Wake-slot array factories.
+
+Every factory returns an ``(n,)`` int64 array of non-negative wake slots
+suitable for :class:`repro.radio.engine.RadioSimulator`.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro._util import spawn_generator
+from repro.graphs.deployment import Deployment
+
+__all__ = [
+    "synchronous",
+    "uniform_random",
+    "sequential",
+    "batched",
+    "bfs_wave",
+    "staggered_neighbors",
+    "poisson_arrivals",
+]
+
+
+def synchronous(n: int) -> np.ndarray:
+    """All nodes wake at slot 0."""
+    return np.zeros(n, dtype=np.int64)
+
+
+def uniform_random(n: int, window: int, *, seed: int | None = None) -> np.ndarray:
+    """I.i.d. uniform wake slots over ``[0, window)``."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    rng = spawn_generator(seed)
+    return rng.integers(0, window, size=n, dtype=np.int64)
+
+
+def sequential(n: int, gap: int, *, seed: int | None = None) -> np.ndarray:
+    """One node wakes every ``gap`` slots, in a random order.
+
+    With ``gap`` larger than a node's solo completion time this is the
+    paper's "long waiting periods between two nodes' wake-up" extreme.
+    """
+    if gap < 0:
+        raise ValueError("gap must be >= 0")
+    rng = spawn_generator(seed)
+    order = rng.permutation(n)
+    slots = np.empty(n, dtype=np.int64)
+    slots[order] = np.arange(n, dtype=np.int64) * gap
+    return slots
+
+
+def batched(
+    n: int, batch_size: int, gap: int, *, seed: int | None = None
+) -> np.ndarray:
+    """Random batches of ``batch_size`` nodes, batches ``gap`` slots apart.
+
+    Models staged deployments (e.g. sensors dropped in passes)."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    rng = spawn_generator(seed)
+    order = rng.permutation(n)
+    slots = np.empty(n, dtype=np.int64)
+    slots[order] = (np.arange(n, dtype=np.int64) // batch_size) * gap
+    return slots
+
+
+def bfs_wave(dep: Deployment, gap: int, *, seed: int | None = None) -> np.ndarray:
+    """Wake nodes in BFS layers from a random root, ``gap`` slots per layer.
+
+    Every newly woken node has neighbors that are already mid-protocol —
+    the "no information whether neighbors have already started" stressor.
+    Disconnected components each get their own wave, appended after the
+    previous component finishes waking.
+    """
+    rng = spawn_generator(seed)
+    slots = np.zeros(dep.n, dtype=np.int64)
+    offset = 0
+    remaining = set(range(dep.n))
+    max_layer = 0
+    while remaining:
+        root = int(rng.choice(sorted(remaining)))
+        layers = nx.bfs_layers(dep.graph.subgraph(remaining), root)
+        max_layer = 0
+        for depth, layer in enumerate(layers):
+            for v in layer:
+                slots[v] = offset + depth * gap
+                remaining.discard(v)
+            max_layer = depth
+        offset += (max_layer + 1) * gap
+    return slots
+
+
+def staggered_neighbors(dep: Deployment, gap: int) -> np.ndarray:
+    """Adversarial-flavored: a greedy coloring of the graph assigns wake
+    batches so that *no two neighbors ever wake together*; batches are
+    ``gap`` slots apart, ordered by color.
+
+    This maximizes the asymmetry between neighbors' protocol phases (one
+    neighbor may already be verifying a high color when the other wakes),
+    which is exactly where the competitor-list machinery must not starve
+    late arrivals."""
+    coloring = nx.greedy_color(dep.graph, strategy="largest_first")
+    slots = np.zeros(dep.n, dtype=np.int64)
+    for v, c in coloring.items():
+        slots[v] = c * gap
+    return slots
+
+
+def poisson_arrivals(n: int, rate: float, *, seed: int | None = None) -> np.ndarray:
+    """Wake slots from a Poisson arrival process of intensity ``rate``
+    nodes per slot (i.i.d. exponential inter-arrival gaps, randomly
+    assigned to nodes).  The natural "nodes switched on one by one at
+    random times" deployment model."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    rng = spawn_generator(seed)
+    gaps = rng.exponential(scale=1.0 / rate, size=n)
+    times = np.floor(np.cumsum(gaps)).astype(np.int64)
+    slots = np.empty(n, dtype=np.int64)
+    slots[rng.permutation(n)] = times
+    return slots

@@ -1,0 +1,52 @@
+"""Shared fixtures and helper protocol nodes for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.radio import Message, ProtocolNode
+
+
+class BeaconNode(ProtocolNode):
+    """Transmits a CounterMessage-like beacon with fixed probability."""
+
+    __slots__ = ("p", "sent", "received")
+
+    def __init__(self, vid: int, p: float = 1.0) -> None:
+        super().__init__(vid)
+        self.p = p
+        self.sent = 0
+        self.received: list[tuple[int, Message]] = []
+
+    def step(self, slot, rng):
+        from repro.radio import ColorMessage
+
+        if rng.random() < self.p:
+            self.sent += 1
+            return ColorMessage(sender=self.vid, color=0)
+        return None
+
+    def deliver(self, slot, msg):
+        self.received.append((slot, msg))
+
+
+class ListenerNode(ProtocolNode):
+    """Never transmits; records everything it receives."""
+
+    __slots__ = ("received",)
+
+    def __init__(self, vid: int) -> None:
+        super().__init__(vid)
+        self.received: list[tuple[int, Message]] = []
+
+    def step(self, slot, rng):
+        return None
+
+    def deliver(self, slot, msg):
+        self.received.append((slot, msg))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

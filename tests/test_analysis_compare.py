@@ -1,0 +1,43 @@
+"""Tests for paired-run comparison."""
+
+import pytest
+
+from repro import run_coloring
+from repro.analysis.compare import compare_runs
+from repro.graphs import random_udg
+
+
+class TestCompareRuns:
+    @pytest.fixture(scope="class")
+    def dep(self):
+        return random_udg(30, expected_degree=7, seed=8, connected=True)
+
+    def test_identical_runs(self, dep):
+        a = run_coloring(dep, seed=80)
+        b = run_coloring(dep, seed=80)
+        out = compare_runs(a, b)
+        assert out["identical_colorings"]
+        assert out["time_ratio_mean"] == pytest.approx(1.0)
+        assert out["tx_ratio"] == pytest.approx(1.0)
+        assert out["common_leaders"] == out["leaders_a"] == out["leaders_b"]
+
+    def test_different_seeds_differ(self, dep):
+        a = run_coloring(dep, seed=80)
+        b = run_coloring(dep, seed=81)
+        out = compare_runs(a, b, label_a="x", label_b="y")
+        assert not out["identical_colorings"]
+        assert out["ok_x"] and out["ok_y"]
+        assert out["paired_nodes"] == dep.n
+
+    def test_aligned_vs_unaligned_pairing(self, dep):
+        a = run_coloring(dep, seed=82)
+        b = run_coloring(dep, seed=82, unaligned=True)
+        out = compare_runs(a, b, label_a="aligned", label_b="unaligned")
+        assert 0.2 < out["time_ratio_mean"] < 5.0
+
+    def test_rejects_different_deployments(self, dep):
+        other = random_udg(30, expected_degree=7, seed=9, connected=True)
+        a = run_coloring(dep, seed=83)
+        b = run_coloring(other, seed=83)
+        with pytest.raises(ValueError, match="same deployment"):
+            compare_runs(a, b)

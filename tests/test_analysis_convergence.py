@@ -1,0 +1,65 @@
+"""Tests for convergence curves."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import coverage_slot_of_fraction, decided_curve
+from repro.radio import TraceRecorder
+
+
+def make_trace(decides, n=4):
+    tr = TraceRecorder(n, level=0)
+    for slot, node in decides:
+        tr.decide(slot, node, color=1)
+    return tr
+
+
+class TestDecidedCurve:
+    def test_monotone_step_function(self):
+        tr = make_trace([(2, 0), (5, 1), (5, 2)])
+        slots, frac = decided_curve(tr, horizon=8)
+        assert slots.tolist() == list(range(8))
+        assert frac.tolist() == [0, 0, 0.25, 0.25, 0.25, 0.75, 0.75, 0.75]
+
+    def test_stride(self):
+        tr = make_trace([(2, 0)])
+        slots, frac = decided_curve(tr, horizon=10, step=5)
+        assert slots.tolist() == [0, 5]
+        assert frac.tolist() == [0.0, 0.25]
+
+    def test_empty_trace(self):
+        tr = make_trace([])
+        _, frac = decided_curve(tr, horizon=5)
+        assert (frac == 0).all()
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            decided_curve(make_trace([]), horizon=5, step=0)
+
+    def test_full_run_curve_reaches_one(self):
+        from repro import run_coloring
+        from repro.graphs import random_udg
+
+        dep = random_udg(30, expected_degree=7, seed=2, connected=True)
+        res = run_coloring(dep, seed=20)
+        _, frac = decided_curve(res.trace, horizon=res.slots + 1)
+        assert frac[-1] == pytest.approx(1.0)
+        assert (np.diff(frac) >= 0).all()
+
+
+class TestCoverageSlot:
+    def test_basic(self):
+        tr = make_trace([(2, 0), (5, 1), (9, 2)])
+        assert coverage_slot_of_fraction(tr, 0.25) == 2
+        assert coverage_slot_of_fraction(tr, 0.5) == 5
+        assert coverage_slot_of_fraction(tr, 0.75) == 9
+
+    def test_unreached(self):
+        tr = make_trace([(2, 0)])
+        assert coverage_slot_of_fraction(tr, 1.0) == -1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            coverage_slot_of_fraction(make_trace([]), 0.0)
+        with pytest.raises(ValueError):
+            coverage_slot_of_fraction(make_trace([]), 1.5)

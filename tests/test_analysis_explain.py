@@ -1,0 +1,59 @@
+"""Tests for the run narrator."""
+
+import pytest
+
+from repro import run_coloring
+from repro.analysis.explain import explain_node, explain_run
+from repro.graphs import random_udg
+
+
+@pytest.fixture(scope="module")
+def result():
+    dep = random_udg(30, expected_degree=7, seed=4, connected=True)
+    res = run_coloring(dep, seed=40)
+    assert res.completed and res.proper
+    return res
+
+
+class TestExplainNode:
+    def test_leader_story(self, result):
+        import numpy as np
+
+        leader = int(np.flatnonzero(result.leaders)[0])
+        text = explain_node(result, leader)
+        assert "LEADER" in text
+        assert "woke up" in text
+        assert "final decision" in text
+
+    def test_nonleader_story(self, result):
+        import numpy as np
+
+        v = int(np.flatnonzero(~result.leaders)[0])
+        text = explain_node(result, v)
+        assert "requesting intra-cluster color" in text
+        assert "verifying color" in text
+        assert f"node {v}" in text
+
+    def test_out_of_range(self, result):
+        with pytest.raises(ValueError):
+            explain_node(result, 999)
+
+    def test_capped_run_mentions_no_decision(self):
+        dep = random_udg(20, expected_degree=6, seed=5, connected=True)
+        res = run_coloring(dep, seed=50, max_slots=5)
+        assert "never decided" in explain_node(res, 0)
+
+
+class TestExplainRun:
+    def test_summary_fields(self, result):
+        text = explain_run(result)
+        assert "completed" in text
+        assert "leaders" in text
+        assert "proper coloring" in text
+        assert "transmissions" in text
+
+    def test_capped_marked(self):
+        dep = random_udg(20, expected_degree=6, seed=5, connected=True)
+        res = run_coloring(dep, seed=50, max_slots=5)
+        text = explain_run(res)
+        assert "CAPPED" in text

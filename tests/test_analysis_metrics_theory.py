@@ -1,0 +1,146 @@
+"""Tests for metrics extraction and the theory-bound calculators."""
+
+import numpy as np
+import pytest
+
+from repro import Parameters, run_coloring
+from repro.analysis import (
+    color_stats,
+    interference_profile,
+    lemma2_delivery_bound,
+    lemma3_delivery_bound,
+    lemma4_success_bound,
+    locality_stats,
+    message_stats,
+    state_stats,
+    theorem3_time_bound,
+    theorem5_color_bound,
+    time_stats,
+)
+from repro.graphs import clustered_udg, random_udg
+
+
+@pytest.fixture(scope="module")
+def result():
+    dep = random_udg(60, expected_degree=10, seed=7, connected=True)
+    return run_coloring(dep, seed=70)
+
+
+class TestColorStats:
+    def test_within_theorem5_bound(self, result):
+        cs = color_stats(result)
+        assert cs["max_color"] <= cs["bound_kappa2_delta"]
+        assert cs["distinct"] >= 1
+        assert cs["leaders"] >= 1
+
+    def test_max_over_delta_is_order_kappa2(self, result):
+        cs = color_stats(result)
+        assert cs["max_over_delta"] <= result.params.kappa2 + 1
+
+
+class TestLocalityStats:
+    def test_theorem4_construction_bound_holds(self, result):
+        # The bound the construction actually guarantees (see metrics
+        # docstring: the paper's stated kappa2 constant is loose by one).
+        ls = locality_stats(result)
+        assert ls["theorem4_construction"]
+        assert ls["max_ratio"] <= ls["kappa2"] + 1
+
+    def test_arrays_shapes(self, result):
+        ls = locality_stats(result)
+        n = result.deployment.n
+        assert ls["theta"].shape == (n,) and ls["phi"].shape == (n,)
+
+    def test_sparse_regions_get_lower_colors(self):
+        # Clustered deployment: background nodes should see lower phi than
+        # cluster nodes on average.
+        dep = clustered_udg(3, 14, background=12, side=14.0, seed=9)
+        res = run_coloring(dep, seed=90)
+        assert res.completed and res.proper
+        ls = locality_stats(res)
+        cluster_phi = ls["phi"][: 3 * 14].mean()
+        background_phi = ls["phi"][3 * 14 :].mean()
+        assert background_phi < cluster_phi
+
+
+class TestTimeStats:
+    def test_all_counted(self, result):
+        ts = time_stats(result)
+        assert ts["count"] == result.deployment.n
+        assert 0 < ts["mean"] <= ts["max"]
+        assert ts["p95"] <= ts["max"]
+
+    def test_normalization_positive(self, result):
+        ts = time_stats(result)
+        assert 0 < ts["max_normalized"] < 10_000
+
+
+class TestMessageAndStateStats:
+    def test_message_counters(self, result):
+        ms = message_stats(result)
+        assert ms["tx_total"] > 0 and ms["rx_total"] > 0
+        assert 0 <= ms["collision_rate"] <= 1
+
+    def test_corollary1_state_bound(self, result):
+        ss = state_stats(result)
+        assert ss["a_states_max"] <= ss["corollary1_bound"]
+
+    def test_resets_counted(self, result):
+        ss = state_stats(result)
+        assert ss["resets_total"] >= 0
+
+
+class TestInterferenceProfile:
+    def test_proper_coloring_bounded_by_kappa1(self, result):
+        from repro.graphs import kappa1
+
+        prof = interference_profile(result.deployment, result.colors)
+        assert prof["max_same_slot_neighbors"] <= kappa1(result.deployment)
+
+    def test_counts_contended_slots(self):
+        from repro.graphs import star_deployment
+
+        dep = star_deployment(4)
+        # All leaves share color 1: the hub sees 4 same-slot neighbors.
+        colors = np.array([0, 1, 1, 1, 1])
+        prof = interference_profile(dep, colors)
+        assert prof["max_same_slot_neighbors"] == 4
+        assert prof["slots_with_contention"] == 1
+
+
+class TestTheoryBounds:
+    def params(self):
+        return Parameters.theoretical(n=1000, delta=20, kappa1=5, kappa2=18)
+
+    def test_lemma2_whp(self):
+        # With the theoretical constants the miss probability is below
+        # n^-5 (the lemma's statement).
+        b = lemma2_delivery_bound(self.params())
+        assert b["miss_probability_ub"] < 1000.0**-5
+
+    def test_lemma3_whp(self):
+        b = lemma3_delivery_bound(self.params())
+        assert b["miss_probability_ub"] < 1000.0**-5
+
+    def test_lemma4_whp(self):
+        b = lemma4_success_bound(self.params())
+        assert b["miss_probability_ub"] < 1000.0**-5
+
+    def test_practical_constants_do_not_reach_whp(self):
+        # The point of E6: small constants give only moderate guarantees.
+        p = Parameters.practical(n=1000, delta=20, kappa1=5, kappa2=18)
+        b = lemma2_delivery_bound(p)
+        assert b["miss_probability_ub"] > 1000.0**-5
+
+    def test_time_and_color_bounds(self):
+        p = self.params()
+        assert theorem3_time_bound(p) > 0
+        assert theorem5_color_bound(p) == 18 * 20
+
+    def test_lemma_bounds_decrease_with_interval(self):
+        p1 = Parameters.practical(n=100, delta=10, kappa1=4, kappa2=8)
+        p2 = p1.with_overrides(gamma=p1.gamma * 2, sigma=p1.sigma * 2)
+        assert (
+            lemma2_delivery_bound(p2)["miss_probability_ub"]
+            < lemma2_delivery_bound(p1)["miss_probability_ub"]
+        )

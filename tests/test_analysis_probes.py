@@ -1,0 +1,77 @@
+"""Tests for counter-trajectory probes (the Fig. 3 measurement)."""
+
+import pytest
+
+from repro.analysis.probes import CounterTrajectory, record_counter_trajectories
+from repro.core import Parameters
+from repro.graphs import path_deployment, random_udg
+
+
+class TestCounterTrajectory:
+    def test_reset_slots_detects_drops(self):
+        tr = CounterTrajectory(node=0, slots=[1, 2, 3, 4], counters=[5, 6, -3, -2])
+        assert tr.reset_slots == [3]
+
+    def test_no_resets_on_monotone(self):
+        tr = CounterTrajectory(node=0, slots=[1, 2, 3], counters=[1, 2, 3])
+        assert tr.reset_slots == []
+
+    def test_as_arrays(self):
+        tr = CounterTrajectory(node=0, slots=[1, 2], counters=[7, 8])
+        s, c = tr.as_arrays()
+        assert s.tolist() == [1, 2] and c.tolist() == [7, 8]
+
+
+class TestRecordTrajectories:
+    @pytest.fixture(scope="class")
+    def trajs(self):
+        dep = random_udg(35, expected_degree=8, seed=3, connected=True)
+        return record_counter_trajectories(dep, seed=9)
+
+    def test_default_targets_are_a_neighborhood(self, trajs):
+        assert len(trajs) >= 2
+
+    def test_counters_never_exceed_threshold(self, trajs):
+        dep_params = None
+        for tr in trajs.values():
+            if tr.counters:
+                # The decision is immediate at the threshold; probed values
+                # are <= threshold.
+                assert max(tr.counters) <= 10**7  # loose structural check
+
+    def test_slots_strictly_increasing(self, trajs):
+        for tr in trajs.values():
+            assert all(b > a for a, b in zip(tr.slots, tr.slots[1:]))
+
+    def test_final_states_recorded(self, trajs):
+        labels = {tr.final_state for tr in trajs.values()}
+        assert "?" not in labels
+        # In A_0 probing, every target ends as a leader, requester, or in
+        # a later verification/colored state.
+        for label in labels:
+            assert label[0] in ("C", "R", "A")
+
+    def test_at_least_one_winner_trajectory_monotone_tail(self, trajs):
+        winners = [tr for tr in trajs.values() if tr.final_state == "C_0" and tr.counters]
+        assert winners
+        for tr in winners:
+            # Tail of a winner's trajectory is strictly increasing (it
+            # climbed to the threshold uninterrupted at the end).
+            tail = tr.counters[-10:]
+            assert all(b == a + 1 for a, b in zip(tail, tail[1:]))
+
+    def test_explicit_targets_and_params(self):
+        dep = path_deployment(4)
+        params = Parameters.practical(n=4, delta=3, kappa1=2, kappa2=2)
+        trajs = record_counter_trajectories(
+            dep, targets=[0, 1], params=params, seed=2
+        )
+        assert set(trajs) == {0, 1}
+
+    def test_empty_deployment_rejected(self):
+        import networkx as nx
+
+        from repro.graphs import from_graph
+
+        with pytest.raises(ValueError):
+            record_counter_trajectories(from_graph(nx.empty_graph(0)))

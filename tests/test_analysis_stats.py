@@ -1,0 +1,96 @@
+"""Tests for the statistical helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    bootstrap_mean_interval,
+    summarize_rate,
+    summarize_values,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_extremes_stay_in_unit_interval(self):
+        lo, hi = wilson_interval(0, 10)
+        assert lo == 0.0 and 0 < hi < 0.35
+        lo, hi = wilson_interval(10, 10)
+        assert 0.65 < lo < 1 and hi == 1.0
+
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(7, 10)
+        assert lo < 0.7 < hi
+
+    def test_narrows_with_trials(self):
+        w1 = wilson_interval(5, 10)
+        w2 = wilson_interval(500, 1000)
+        assert (w2[1] - w2[0]) < (w1[1] - w1[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    @given(k=st.integers(0, 50), extra=st.integers(0, 50))
+    def test_always_ordered_and_bounded(self, k, extra):
+        n = k + extra
+        if n == 0:
+            return
+        lo, hi = wilson_interval(k, n)
+        assert 0.0 <= lo <= k / n <= hi <= 1.0
+
+    def test_coverage_monte_carlo(self):
+        # ~95% of intervals should contain the true rate.
+        rng = np.random.default_rng(5)
+        p_true, n, hits = 0.3, 40, 0
+        reps = 400
+        for _ in range(reps):
+            k = rng.binomial(n, p_true)
+            lo, hi = wilson_interval(int(k), n)
+            hits += lo <= p_true <= hi
+        assert hits / reps > 0.9
+
+
+class TestBootstrap:
+    def test_contains_sample_mean_usually(self):
+        rng = np.random.default_rng(1)
+        data = rng.exponential(size=50)
+        lo, hi = bootstrap_mean_interval(data, seed=2)
+        assert lo <= data.mean() <= hi
+
+    def test_single_value_degenerate(self):
+        assert bootstrap_mean_interval([3.5]) == (3.5, 3.5)
+
+    def test_reproducible(self):
+        data = [1.0, 2.0, 5.0, 9.0]
+        assert bootstrap_mean_interval(data, seed=7) == bootstrap_mean_interval(data, seed=7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_interval([])
+        with pytest.raises(ValueError):
+            bootstrap_mean_interval([1.0], confidence=1.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=30))
+    def test_interval_ordered(self, data):
+        lo, hi = bootstrap_mean_interval(data, seed=1)
+        assert lo <= hi
+
+
+class TestSummaries:
+    def test_summarize_rate(self):
+        s = summarize_rate([True, True, False, True])
+        assert s["rate"] == pytest.approx(0.75)
+        assert s["rate_lo"] <= 0.75 <= s["rate_hi"]
+        assert s["runs"] == 4
+
+    def test_summarize_values(self):
+        s = summarize_values([1.0, 3.0, 5.0])
+        assert s["mean"] == pytest.approx(3.0)
+        assert s["max"] == 5.0
+        assert s["mean_lo"] <= s["mean"] <= s["mean_hi"]

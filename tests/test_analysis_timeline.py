@@ -1,0 +1,71 @@
+"""Tests for state-timeline reconstruction."""
+
+import pytest
+
+from repro.analysis import sojourn_times, state_timelines
+from repro.radio import TraceRecorder
+
+
+def make_trace(events):
+    tr = TraceRecorder(4, level=1)
+    for slot, node, state in events:
+        tr.state(slot, node, state)
+    return tr
+
+
+class TestStateTimelines:
+    def test_single_node_sequence(self):
+        tr = make_trace([(0, 1, "A_0"), (10, 1, "R"), (25, 1, "A_6"), (70, 1, "C_6")])
+        tl = state_timelines(tr)[1]
+        assert [(iv.state, iv.entry_slot, iv.exit_slot) for iv in tl] == [
+            ("A_0", 0, 10),
+            ("R", 10, 25),
+            ("A_6", 25, 70),
+            ("C_6", 70, None),
+        ]
+
+    def test_durations(self):
+        tr = make_trace([(0, 0, "A_0"), (7, 0, "C_0")])
+        tl = state_timelines(tr)[0]
+        assert tl[0].duration == 7
+        assert tl[1].duration is None  # terminal state, still open
+
+    def test_multiple_nodes_separated(self):
+        tr = make_trace([(0, 0, "A_0"), (0, 1, "A_0"), (5, 1, "R")])
+        tls = state_timelines(tr)
+        assert len(tls[0]) == 1 and len(tls[1]) == 2
+
+    def test_unsorted_events_handled(self):
+        tr = make_trace([(25, 2, "A_6"), (0, 2, "A_0"), (10, 2, "R")])
+        tl = state_timelines(tr)[2]
+        assert [iv.state for iv in tl] == ["A_0", "R", "A_6"]
+
+
+class TestSojournTimes:
+    def test_prefix_filter(self):
+        tr = make_trace(
+            [(0, 0, "A_0"), (10, 0, "R"), (30, 0, "A_6"), (80, 0, "C_6")]
+        )
+        a = sojourn_times(tr, "A_")
+        r = sojourn_times(tr, "R")
+        assert sorted(iv.duration for iv in a) == [10, 50]
+        assert [iv.duration for iv in r] == [20]
+
+    def test_open_sojourns_excluded(self):
+        tr = make_trace([(0, 0, "A_0")])
+        assert sojourn_times(tr, "A_") == []
+
+    def test_real_run_sojourns_consistent(self):
+        from repro import run_coloring
+        from repro.graphs import random_udg
+
+        dep = random_udg(30, expected_degree=7, seed=3, connected=True)
+        res = run_coloring(dep, seed=30)
+        tls = state_timelines(res.trace)
+        assert set(tls) == set(range(dep.n))
+        for v, tl in tls.items():
+            # Intervals are contiguous and ordered.
+            for a, b in zip(tl, tl[1:]):
+                assert a.exit_slot == b.entry_slot
+            # Terminal state is the node's color class.
+            assert tl[-1].state == f"C_{res.colors[v]}"

@@ -1,0 +1,104 @@
+"""Tests for run verification (Theorem 2 temporal independence etc.)."""
+
+import numpy as np
+import pytest
+
+from repro import run_coloring
+from repro.analysis import (
+    check_completeness,
+    check_independence_over_time,
+    check_leader_set,
+    check_proper_coloring,
+    verify_run,
+)
+from repro.graphs import path_deployment, random_udg, ring_deployment
+from repro.radio import TraceRecorder
+
+
+class TestCheckProperColoring:
+    def test_detects_violation(self):
+        dep = path_deployment(3)
+        assert check_proper_coloring(dep, np.array([1, 1, 0])) == [(0, 1, 1)]
+
+    def test_ignores_undecided(self):
+        dep = path_deployment(3)
+        assert check_proper_coloring(dep, np.array([-1, -1, 0])) == []
+
+    def test_clean(self):
+        dep = path_deployment(3)
+        assert check_proper_coloring(dep, np.array([0, 1, 0])) == []
+
+
+class TestCompleteness:
+    def test_reports_undecided(self):
+        assert check_completeness(np.array([0, -1, 2, -1])) == [1, 3]
+
+    def test_complete(self):
+        assert check_completeness(np.array([0, 1])) == []
+
+
+class TestTemporalIndependence:
+    def make_trace(self, events):
+        tr = TraceRecorder(4, level=1)
+        for slot, node, color in events:
+            tr.decide(slot, node, color)
+        return tr
+
+    def test_clean_sequence(self):
+        dep = path_deployment(3)
+        tr = self.make_trace([(1, 0, 0), (5, 1, 1), (9, 2, 0)])
+        assert check_independence_over_time(dep, tr) == []
+
+    def test_detects_adjacent_same_color(self):
+        dep = path_deployment(3)
+        tr = self.make_trace([(1, 0, 0), (5, 1, 0)])
+        assert check_independence_over_time(dep, tr) == [(5, 1, 0, 0)]
+
+    def test_same_slot_violation_counted(self):
+        dep = path_deployment(2)
+        tr = self.make_trace([(3, 0, 2), (3, 1, 2)])
+        assert len(check_independence_over_time(dep, tr)) == 1
+
+    def test_nonadjacent_same_color_fine(self):
+        dep = path_deployment(3)
+        tr = self.make_trace([(1, 0, 1), (2, 2, 1)])
+        assert check_independence_over_time(dep, tr) == []
+
+
+class TestLeaderSet:
+    def test_adjacent_leaders_flagged(self):
+        dep = path_deployment(2)
+        assert check_leader_set(dep, np.array([0, 0]))
+
+    def test_nonmaximal_flagged(self):
+        dep = path_deployment(3)
+        problems = check_leader_set(dep, np.array([0, 5, 7]))
+        assert any("no leader neighbor" in p for p in problems)
+
+    def test_maximality_optional(self):
+        dep = path_deployment(3)
+        assert (
+            check_leader_set(dep, np.array([0, 5, 7]), require_maximal=False) == []
+        )
+
+    def test_good_leader_set(self):
+        dep = ring_deployment(4)
+        assert check_leader_set(dep, np.array([0, 1, 0, 1])) == []
+
+
+class TestVerifyRun:
+    def test_successful_run_verifies(self):
+        dep = random_udg(40, expected_degree=8, seed=2, connected=True)
+        res = run_coloring(dep, seed=43)
+        report = verify_run(res)
+        assert report.ok, report.describe()
+        assert "OK" in report.describe()
+
+    def test_capped_run_reports_undecided(self):
+        dep = random_udg(30, expected_degree=7, seed=2, connected=True)
+        res = run_coloring(dep, seed=42, max_slots=50)
+        report = verify_run(res)
+        assert not report.ok
+        assert report.undecided
+        assert "undecided" in report.describe()
+        assert any("slot cap" in n for n in report.notes)

@@ -1,0 +1,135 @@
+"""Tests for centralized and message-passing baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    greedy_coloring,
+    luby_mis,
+    randomized_delta_plus_one,
+    run_rounds,
+    welsh_powell_coloring,
+)
+from repro.baselines.message_passing import SyncNode
+from repro.graphs import (
+    clique_deployment,
+    path_deployment,
+    random_udg,
+    ring_deployment,
+    star_deployment,
+)
+
+
+def is_proper(dep, colors):
+    return all(colors[u] != colors[v] for u, v in dep.graph.edges)
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_proper_on_udg(self, seed):
+        dep = random_udg(60, expected_degree=10, seed=seed)
+        colors = greedy_coloring(dep, seed=seed)
+        assert is_proper(dep, colors)
+        assert (colors >= 0).all()
+
+    def test_at_most_delta_colors(self):
+        # First-fit uses <= max open degree + 1 = closed Delta colors.
+        dep = random_udg(80, expected_degree=12, seed=7)
+        colors = greedy_coloring(dep, seed=1)
+        assert colors.max() + 1 <= dep.max_degree
+
+    def test_clique_needs_n(self):
+        dep = clique_deployment(5)
+        assert greedy_coloring(dep, seed=0).max() + 1 == 5
+
+    def test_welsh_powell_proper(self):
+        dep = random_udg(60, expected_degree=10, seed=3)
+        colors = welsh_powell_coloring(dep)
+        assert is_proper(dep, colors)
+
+    def test_star_two_colors(self):
+        assert welsh_powell_coloring(star_deployment(6)).max() + 1 == 2
+
+    def test_reproducible(self):
+        dep = random_udg(40, expected_degree=8, seed=5)
+        assert np.array_equal(greedy_coloring(dep, seed=9), greedy_coloring(dep, seed=9))
+
+
+class TestLubyMis:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_independent_and_maximal(self, seed):
+        dep = random_udg(70, expected_degree=10, seed=seed)
+        mis, rounds = luby_mis(dep, seed=seed)
+        g = dep.graph
+        assert not any(mis[u] and mis[v] for u, v in g.edges)
+        for v in range(dep.n):
+            assert mis[v] or any(mis[u] for u in g.neighbors(v))
+        assert rounds >= 1
+
+    def test_isolated_nodes_all_in_mis(self):
+        import networkx as nx
+
+        from repro.graphs import from_graph
+
+        mis, _ = luby_mis(from_graph(nx.empty_graph(5)), seed=1)
+        assert mis.all()
+
+    def test_rounds_small_on_ring(self):
+        # O(log n) w.h.p.; a 64-ring should finish in well under 50 rounds.
+        mis, rounds = luby_mis(ring_deployment(64), seed=2)
+        assert rounds < 50
+
+    def test_clique_single_winner(self):
+        mis, _ = luby_mis(clique_deployment(7), seed=3)
+        assert mis.sum() == 1
+
+
+class TestDeltaPlusOne:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_proper_complete_and_bounded(self, seed):
+        dep = random_udg(70, expected_degree=10, seed=seed)
+        colors, rounds = randomized_delta_plus_one(dep, seed=seed)
+        assert (colors >= 0).all()
+        assert is_proper(dep, colors)
+        assert colors.max() + 1 <= dep.max_degree  # closed Delta bound
+        assert rounds >= 1
+
+    def test_palette_local(self):
+        # Each node's color is within its own closed degree, not the max.
+        dep = star_deployment(9)
+        colors, _ = randomized_delta_plus_one(dep, seed=4)
+        for v in range(1, dep.n):  # leaves have degree 1 -> colors in {0,1}
+            assert colors[v] <= 1
+
+    def test_path(self):
+        colors, _ = randomized_delta_plus_one(path_deployment(10), seed=5)
+        assert is_proper(path_deployment(10), colors)
+
+
+class TestRunRounds:
+    def test_node_count_validated(self):
+        dep = path_deployment(3)
+        with pytest.raises(ValueError):
+            run_rounds(dep, [], np.random.default_rng(0), 10)
+
+    def test_stops_when_all_done(self):
+        dep = path_deployment(2)
+
+        class Once(SyncNode):
+            def __init__(self, vid):
+                super().__init__(vid)
+                self.finished = False
+
+            def send(self, rnd, rng):
+                return "x"
+
+            def receive(self, rnd, inbox):
+                self.finished = True
+
+            @property
+            def done(self):
+                return self.finished
+
+        nodes = [Once(0), Once(1)]
+        rounds = run_rounds(dep, nodes, np.random.default_rng(0), 100)
+        assert rounds == 1

@@ -1,0 +1,126 @@
+"""Tests for the unstructured-model baselines (naive reset, frame-based)."""
+
+import numpy as np
+import pytest
+
+from repro import run_coloring
+from repro.baselines import run_frame_coloring, run_naive_coloring
+from repro.baselines.busch import ClaimMessage, FrameColoringNode
+from repro.graphs import path_deployment, random_udg, ring_deployment
+
+
+class TestNaiveReset:
+    def test_completes_and_proper_on_small_udg(self):
+        dep = random_udg(40, expected_degree=8, seed=2, connected=True)
+        res = run_naive_coloring(dep, seed=52)
+        assert res.completed and res.proper
+
+    def test_exhibits_reset_storms(self):
+        # The point of the strawman: orders of magnitude more resets than
+        # the real algorithm on the same instance.
+        dep = random_udg(50, expected_degree=10, seed=4, connected=True)
+        naive = run_naive_coloring(dep, seed=9)
+        real = run_coloring(dep, seed=9)
+        naive_resets = sum(n.resets for n in naive.nodes)
+        real_resets = sum(n.resets for n in real.nodes)
+        assert naive_resets > 10 * max(real_resets, 1)
+
+    def test_empty_rejected(self):
+        import networkx as nx
+
+        from repro.graphs import from_graph
+
+        with pytest.raises(ValueError):
+            run_naive_coloring(from_graph(nx.empty_graph(0)))
+
+    def test_ring(self):
+        res = run_naive_coloring(ring_deployment(10), seed=3)
+        assert res.completed and res.proper
+
+
+class TestFrameColoring:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_completes_and_proper(self, seed):
+        dep = random_udg(50, expected_degree=9, seed=seed, connected=True)
+        res = run_frame_coloring(dep, seed=seed + 30)
+        assert res.completed and res.proper
+
+    def test_colors_within_frame(self):
+        dep = random_udg(50, expected_degree=9, seed=1, connected=True)
+        res = run_frame_coloring(dep, seed=11, frame_factor=4)
+        assert 0 <= res.max_color < 4 * dep.max_degree
+
+    def test_uses_more_colors_than_greedy(self):
+        from repro.baselines import greedy_coloring
+
+        dep = random_udg(60, expected_degree=10, seed=5, connected=True)
+        res = run_frame_coloring(dep, seed=15)
+        assert res.max_color + 1 > greedy_coloring(dep, seed=0).max() + 1
+
+    def test_asynchronous_wake(self):
+        from repro.wakeup import sequential
+
+        dep = random_udg(30, expected_degree=7, seed=6, connected=True)
+        ws = sequential(dep.n, gap=30, seed=1)
+        res = run_frame_coloring(dep, seed=16, wake_slots=ws)
+        assert res.completed and res.proper
+
+    def test_max_slots_cap(self):
+        dep = random_udg(30, expected_degree=7, seed=6, connected=True)
+        res = run_frame_coloring(dep, seed=16, max_slots=5)
+        assert not res.completed
+
+    def test_decision_times_relative_to_wake(self):
+        dep = path_deployment(4)
+        res = run_frame_coloring(dep, seed=8)
+        times = res.decision_times()
+        assert (times >= 0).all()
+
+
+class TestFrameNodeUnits:
+    def make(self, vid=0, **kw):
+        return FrameColoringNode(vid, delta=4, n_est=16, **kw)
+
+    def test_listen_window_before_first_claim(self):
+        node = self.make()
+        node.wake(0)
+        rng = np.random.default_rng(0)
+        for t in range(node.window):
+            assert node.step(t, rng) is None
+
+    def test_decided_neighbor_claim_marks_taken(self):
+        node = self.make()
+        node.wake(0)
+        node.deliver(1, ClaimMessage(sender=5, color=3, decided=True))
+        assert 3 in node.taken
+
+    def test_undecided_lower_id_claim_no_conflict(self):
+        node = self.make(vid=9)
+        node.wake(0)
+        rng = np.random.default_rng(1)
+        for t in range(node.window + 1):
+            node.step(t, rng)
+        assert node.color >= 0
+        node.deliver(node.window, ClaimMessage(sender=3, color=node.color, decided=False))
+        assert not node._conflict  # our ID is larger: we keep the candidate
+
+    def test_undecided_higher_id_claim_conflicts(self):
+        node = self.make(vid=1)
+        node.wake(0)
+        rng = np.random.default_rng(1)
+        for t in range(node.window + 1):
+            node.step(t, rng)
+        node.deliver(node.window, ClaimMessage(sender=7, color=node.color, decided=False))
+        assert node._conflict
+
+    def test_conflict_forces_repick(self):
+        node = self.make(vid=1)
+        node.wake(0)
+        rng = np.random.default_rng(1)
+        for t in range(node.window + 1):
+            node.step(t, rng)
+        node._conflict = True
+        before = node.repicks
+        for t in range(node.window + 1, 2 * node.window + 2):
+            node.step(t, rng)
+        assert node.repicks == before + 1

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_registry_modules_importable(self):
+        import importlib
+
+        for mod_name, _ in EXPERIMENTS.values():
+            mod = importlib.import_module(f"repro.experiments.{mod_name}")
+            assert callable(mod.run)
+
+
+class TestKappa:
+    def test_prints_bounds(self, capsys):
+        assert main(["kappa", "--n", "40", "--degree", "8", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "kappa1=" in out and "kappa2=" in out
+
+
+class TestColor:
+    def test_successful_run_exit_zero(self, capsys):
+        rc = main(["color", "--n", "30", "--degree", "7", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "proper" in out
+
+    def test_schedule_option(self, capsys):
+        rc = main(
+            ["color", "--n", "25", "--degree", "7", "--seed", "5",
+             "--schedule", "sequential"]
+        )
+        assert rc == 0
+
+    def test_rejects_unknown_schedule(self):
+        with pytest.raises(SystemExit):
+            main(["color", "--schedule", "mystery"])
+
+
+class TestExperiment:
+    def test_runs_e5_and_prints_table(self, capsys):
+        rc = main(["experiment", "e5", "--seeds", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "E5" in out and "udg" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "e5.csv"
+        rc = main(["experiment", "e5", "--seeds", "1", "--csv", str(csv_path)])
+        assert rc == 0
+        text = csv_path.read_text()
+        assert "model" in text.splitlines()[0]
+        assert "udg" in text
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "e99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

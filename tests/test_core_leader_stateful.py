@@ -1,0 +1,112 @@
+"""Model-based (stateful) test of the leader's queue protocol.
+
+Hypothesis drives a leader node through arbitrary interleavings of
+request deliveries and slot steps while a pure-Python model tracks the
+FIFO/queue semantics of Algorithm 3 (Lines 7-23).  Invariants:
+
+- requests are served in FIFO order of first arrival;
+- ``tc`` values are assigned strictly increasing, one per serving;
+- a node is never queued twice while it is still in the queue;
+- each serving lasts exactly ``serve_window`` slots;
+- the idle leader announces itself (plain ``M_C^0``) whenever it
+  transmits with an empty queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core import ColoringNode, Parameters
+from repro.radio import AssignMessage, ColorMessage, RequestMessage
+
+
+class AlwaysTransmit:
+    def geometric(self, p):
+        return 1
+
+
+class LeaderQueueMachine(RuleBasedStateMachine):
+    @initialize()
+    def make_leader(self):
+        self.params = Parameters(
+            n=8, delta=3, kappa1=2, kappa2=2, alpha=1, beta=2, gamma=1, sigma=3
+        )
+        self.node = ColoringNode(0, self.params)
+        self.node.wake(0)
+        self.rng = AlwaysTransmit()
+        self.slot = 0
+        # Drive to leadership deterministically.
+        while not self.node.done:
+            self.node.step(self.slot, self.rng)
+            self.slot += 1
+            assert self.slot < 10_000
+        assert self.node.color == 0
+        # Model state.
+        self.model_queue: deque[int] = deque()
+        self.model_tc = 0
+        self.serving: tuple[int, int] | None = None  # (target, remaining)
+        self.assignments: list[tuple[int, int]] = []  # (target, tc) observed
+
+    @rule(sender=st.integers(10, 14))
+    def deliver_request(self, sender):
+        in_queue = sender in self.model_queue
+        self.node.deliver(self.slot, RequestMessage(sender=sender, leader=0))
+        if not in_queue:
+            self.model_queue.append(sender)
+
+    @rule(sender=st.integers(10, 14))
+    def deliver_misaddressed_request(self, sender):
+        before = list(self.node._queue)
+        self.node.deliver(self.slot, RequestMessage(sender=sender, leader=99))
+        assert list(self.node._queue) == before
+
+    @rule()
+    def step_slot(self):
+        # Advance the model by one slot, mirroring Alg. 3's serve loop.
+        if self.serving is not None and self.serving[1] == 0:
+            self.model_queue.popleft()
+            self.serving = None
+        if self.serving is None and self.model_queue:
+            self.model_tc += 1
+            self.serving = (self.model_queue[0], self.params.serve_window)
+        if self.serving is not None:
+            self.serving = (self.serving[0], self.serving[1] - 1)
+
+        msg = self.node.step(self.slot, self.rng)
+        self.slot += 1
+        # With AlwaysTransmit the leader transmits every slot.
+        assert msg is not None
+        if self.serving is not None:
+            assert isinstance(msg, AssignMessage)
+            assert msg.target == self.serving[0]
+            assert msg.tc == self.model_tc
+            self.assignments.append((msg.target, msg.tc))
+        else:
+            assert isinstance(msg, ColorMessage) and not isinstance(msg, AssignMessage)
+            assert msg.color == 0
+
+    @invariant()
+    def queues_match(self):
+        if hasattr(self, "model_queue"):
+            assert list(self.node._queue) == list(self.model_queue)
+
+    @invariant()
+    def tc_matches(self):
+        if hasattr(self, "model_tc"):
+            assert self.node._tc_counter == self.model_tc
+
+    @invariant()
+    def tc_strictly_increasing_per_serving(self):
+        if hasattr(self, "assignments") and self.assignments:
+            tcs = [tc for _, tc in self.assignments]
+            assert all(b - a in (0, 1) for a, b in zip(tcs, tcs[1:]))
+
+
+TestLeaderQueueStateful = LeaderQueueMachine.TestCase
+TestLeaderQueueStateful.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,77 @@
+"""Tests for standalone leader election (MIS from scratch)."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_mis
+from repro.graphs import clique_deployment, path_deployment, random_udg, ring_deployment
+from repro.wakeup import sequential
+
+
+class TestRunMis:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_independent_and_maximal(self, seed):
+        dep = random_udg(50, expected_degree=9, seed=seed, connected=True)
+        res = run_mis(dep, seed=seed + 40)
+        assert res.completed
+        assert res.independent
+        assert res.maximal
+
+    def test_clique_one_leader(self):
+        res = run_mis(clique_deployment(6), seed=3)
+        assert res.completed and res.in_mis.sum() == 1
+
+    def test_isolated_nodes_all_leaders(self):
+        import networkx as nx
+
+        from repro.graphs import from_graph
+
+        res = run_mis(from_graph(nx.empty_graph(4)), seed=1)
+        assert res.completed and res.in_mis.all()
+
+    def test_stops_before_full_coloring(self):
+        # Leader election should finish well before the full protocol
+        # (it skips all the intra-cluster verification states).
+        from repro.core import run_coloring
+
+        dep = random_udg(50, expected_degree=9, seed=5, connected=True)
+        mis = run_mis(dep, seed=50)
+        full = run_coloring(dep, seed=50)
+        assert mis.completed
+        assert mis.slots < full.slots
+
+    def test_asynchronous_wakeup(self):
+        dep = ring_deployment(12)
+        ws = sequential(dep.n, gap=30, seed=2)
+        res = run_mis(dep, wake_slots=ws, seed=6)
+        assert res.completed and res.independent and res.maximal
+
+    def test_election_times_nonnegative(self):
+        dep = random_udg(40, expected_degree=8, seed=7, connected=True)
+        res = run_mis(dep, seed=70)
+        times = res.election_times()
+        assert (times >= 0).all()
+
+    def test_slot_cap(self):
+        dep = path_deployment(5)
+        res = run_mis(dep, seed=1, max_slots=5)
+        assert not res.completed
+
+    def test_empty_rejected(self):
+        import networkx as nx
+
+        from repro.graphs import from_graph
+
+        with pytest.raises(ValueError):
+            run_mis(from_graph(nx.empty_graph(0)))
+
+    def test_mis_size_at_most_luby_ballpark(self):
+        # Both compute an MIS of the same graph: sizes are graph
+        # properties within the MIS-size range, so they should be close.
+        from repro.baselines import luby_mis
+
+        dep = random_udg(60, expected_degree=10, seed=9, connected=True)
+        ours = run_mis(dep, seed=90)
+        luby, _ = luby_mis(dep, seed=91)
+        assert ours.completed
+        assert 0.4 <= ours.in_mis.sum() / max(luby.sum(), 1) <= 2.5

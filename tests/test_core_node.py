@@ -1,0 +1,325 @@
+"""Unit tests for ColoringNode: Algorithms 1-3 driven with scripted inputs.
+
+These tests bypass the radio engine entirely: they call ``step``/``deliver``
+directly with a deterministic fake RNG (geometric always 1, i.e. a node
+transmits at every opportunity) so each pseudocode line can be pinned.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ColoringNode, Parameters, Phase
+from repro.radio import AssignMessage, ColorMessage, CounterMessage, RequestMessage
+
+
+class FakeRng:
+    """geometric() == 1: every transmission opportunity fires."""
+
+    def geometric(self, p):
+        return 1
+
+    def random(self):  # pragma: no cover - not used by ColoringNode
+        return 0.0
+
+
+def tiny_params(**overrides):
+    """n=2 floors log n at 1, so the derived quantities are tiny and exact:
+    wait = alpha*delta = 2, crit_0 = 1, crit_i = 2, threshold = 6,
+    serve_window = 1."""
+    base = dict(n=2, delta=2, kappa1=1, kappa2=2, alpha=1, beta=1, gamma=1, sigma=3)
+    base.update(overrides)
+    return Parameters(**base)
+
+
+@pytest.fixture
+def rng():
+    return FakeRng()
+
+
+def drive(node, rng, start, count):
+    """Step ``node`` for slots [start, start+count); return transmissions
+    as {slot: message}."""
+    out = {}
+    for t in range(start, start + count):
+        m = node.step(t, rng)
+        if m is not None:
+            out[t] = m
+    return out
+
+
+class TestWakeAndWait:
+    def test_wakes_into_a0(self):
+        node = ColoringNode(0, tiny_params())
+        assert node.state.label == "Z"
+        node.wake(0)
+        assert node.state.label == "A_0"
+
+    def test_silent_during_wait(self, rng):
+        p = tiny_params()
+        node = ColoringNode(0, p)
+        node.wake(0)
+        sent = drive(node, rng, 0, p.wait_slots)
+        assert sent == {}
+
+    def test_transmits_after_wait(self, rng):
+        p = tiny_params()
+        node = ColoringNode(0, p)
+        node.wake(0)
+        sent = drive(node, rng, 0, p.wait_slots + 1)
+        assert list(sent) == [p.wait_slots]
+        msg = sent[p.wait_slots]
+        assert isinstance(msg, CounterMessage)
+        assert msg.color == 0
+        assert msg.counter == 1  # chi of empty P_v is 0, incremented once
+
+
+class TestLoneLeaderElection:
+    def test_counter_climbs_to_threshold_and_decides(self, rng):
+        p = tiny_params()
+        node = ColoringNode(0, p)
+        node.wake(0)
+        # Active slots start at wait_slots; threshold at counter == 6.
+        sent = drive(node, rng, 0, p.wait_slots + p.threshold + 2)
+        decide_slot = p.wait_slots + p.threshold - 1  # counter hits 6 here
+        assert node.done and node.color == 0
+        # While verifying: CounterMessages with counters 1..5;
+        # from decide_slot on: leader ColorMessages.
+        counters = [m.counter for m in sent.values() if isinstance(m, CounterMessage)]
+        assert counters == list(range(1, p.threshold))
+        leader_msgs = [m for m in sent.values() if isinstance(m, ColorMessage)]
+        assert all(m.color == 0 for m in leader_msgs)
+        assert node.state.label == "C_0"
+
+    def test_decision_recorded_irrevocably(self, rng):
+        p = tiny_params()
+        node = ColoringNode(0, p)
+        node.wake(0)
+        drive(node, rng, 0, 50)
+        assert node.color == 0
+        # Deliveries after the decision never change the color.
+        node.deliver(60, ColorMessage(sender=9, color=0))
+        assert node.color == 0
+
+
+class TestLeaderAnnouncementHandling:
+    def test_mc0_during_wait_moves_to_request(self, rng):
+        p = tiny_params()
+        node = ColoringNode(0, p)
+        node.wake(0)
+        node.deliver(0, ColorMessage(sender=7, color=0))
+        assert node.state.label == "R"
+        assert node.leader == 7
+
+    def test_overheard_assignment_counts_as_announcement(self):
+        node = ColoringNode(0, tiny_params())
+        node.wake(0)
+        node.deliver(0, AssignMessage(sender=7, color=0, target=5, tc=3))
+        assert node.state.label == "R"
+        assert node.leader == 7
+
+    def test_request_message_transmitted(self, rng):
+        p = tiny_params()
+        node = ColoringNode(0, p)
+        node.wake(0)
+        node.deliver(0, ColorMessage(sender=7, color=0))
+        sent = drive(node, rng, 1, 3)
+        msgs = list(sent.values())
+        assert msgs and all(isinstance(m, RequestMessage) for m in msgs)
+        assert msgs[0].leader == 7
+
+    def test_mc_i_other_color_ignored_in_a0(self):
+        node = ColoringNode(0, tiny_params())
+        node.wake(0)
+        node.deliver(0, ColorMessage(sender=7, color=3))
+        assert node.state.label == "A_0"
+
+
+class TestRequestState:
+    def make_requester(self, rng, p=None):
+        p = p or tiny_params()
+        node = ColoringNode(0, p)
+        node.wake(0)
+        node.deliver(0, ColorMessage(sender=7, color=0))
+        return node
+
+    def test_assignment_from_leader_enters_verify(self, rng):
+        p = tiny_params()
+        node = self.make_requester(rng, p)
+        node.deliver(5, AssignMessage(sender=7, color=0, target=0, tc=2))
+        assert node.tc == 2
+        assert node.state.label == f"A_{2 * (p.kappa2 + 1)}"
+
+    def test_assignment_from_other_leader_ignored(self, rng):
+        node = self.make_requester(rng)
+        node.deliver(5, AssignMessage(sender=8, color=0, target=0, tc=2))
+        assert node.state.label == "R"
+
+    def test_assignment_for_other_target_ignored(self, rng):
+        node = self.make_requester(rng)
+        node.deliver(5, AssignMessage(sender=7, color=0, target=3, tc=2))
+        assert node.state.label == "R"
+
+    def test_verify_after_assignment_waits_again(self, rng):
+        p = tiny_params()
+        node = self.make_requester(rng, p)
+        node.deliver(5, AssignMessage(sender=7, color=0, target=0, tc=1))
+        sent = drive(node, rng, 6, p.wait_slots)
+        assert sent == {}  # fresh passive wait in the new A_i
+
+
+class TestCriticalRangeResets:
+    def activate(self, rng, p=None):
+        p = p or tiny_params()
+        node = ColoringNode(0, p)
+        node.wake(0)
+        drive(node, rng, 0, p.wait_slots + 1)  # now active, counter == 1
+        return node, p.wait_slots  # current slot index is wait_slots
+
+    def test_reset_when_within_critical_range(self, rng):
+        node, t = self.activate(rng)
+        # crit_0 = 1; own counter at slot t is 1; competitor counter 2.
+        node.deliver(t, CounterMessage(sender=5, color=0, counter=2))
+        assert node.resets == 1
+        # chi must avoid [2-1, 2+1]; max value <= 0 outside is 0.
+        assert node.counter(t) == 0
+
+    def test_no_reset_outside_critical_range(self, rng):
+        node, t = self.activate(rng)
+        node.deliver(t, CounterMessage(sender=5, color=0, counter=5))
+        assert node.resets == 0
+        assert node.counter(t) == 1
+        assert 5 in node._competitors  # still recorded (L27-28)
+
+    def test_chi_avoids_all_stored_competitors(self, rng):
+        node, t = self.activate(rng)
+        node.deliver(t, CounterMessage(sender=5, color=0, counter=1))
+        # competitor at 1, crit 1 -> forbidden [0, 2]; chi = -1.
+        assert node.counter(t) == -1
+
+    def test_competitor_estimates_advance(self, rng):
+        node, t = self.activate(rng)
+        node.deliver(t, CounterMessage(sender=5, color=0, counter=4))
+        assert node._competitor_estimate(5, t) == 4
+        assert node._competitor_estimate(5, t + 3) == 7
+
+    def test_counter_message_other_color_ignored(self, rng):
+        node, t = self.activate(rng)
+        node.deliver(t, CounterMessage(sender=5, color=2, counter=1))
+        assert node.resets == 0 and 5 not in node._competitors
+
+    def test_passive_reception_stores_without_reset(self, rng):
+        p = tiny_params()
+        node = ColoringNode(0, p)
+        node.wake(0)
+        node.deliver(0, CounterMessage(sender=5, color=0, counter=3))
+        assert 5 in node._competitors and node.resets == 0
+
+    def test_chi_after_wait_avoids_heard_counters(self, rng):
+        p = tiny_params()
+        node = ColoringNode(0, p)
+        node.wake(0)
+        # Heard at slot 0 with counter 0: estimate at activation-1 (slot 1)
+        # is 1; forbidden [0, 2] -> chi = -1, so first transmitted counter
+        # is 0.
+        node.deliver(0, CounterMessage(sender=5, color=0, counter=0))
+        sent = drive(node, rng, 0, p.wait_slots + 1)
+        assert sent[p.wait_slots].counter == 0
+
+
+class TestVerifyEscalation:
+    def test_mc_i_moves_to_next_state(self, rng):
+        p = tiny_params()
+        node = ColoringNode(0, p)
+        node.wake(0)
+        node.deliver(0, AssignMessage(sender=7, color=0, target=0, tc=1))
+        node.deliver(1, AssignMessage(sender=7, color=0, target=0, tc=1))
+        # Now in A_3 (tc=1, kappa2=2).  A neighbor wins color 3:
+        start = node.index
+        node.deliver(3, ColorMessage(sender=9, color=start))
+        assert node.state.label == f"A_{start + 1}"
+
+    def test_competitor_list_cleared_on_entry(self, rng):
+        p = tiny_params()
+        node = ColoringNode(0, p)
+        node.wake(0)
+        node.deliver(0, CounterMessage(sender=5, color=0, counter=3))
+        assert node._competitors
+        node.deliver(1, ColorMessage(sender=7, color=0))  # -> R
+        node.deliver(2, AssignMessage(sender=7, color=0, target=0, tc=1))
+        assert node._competitors == {}
+
+
+class TestLeaderQueue:
+    def make_leader(self, rng, p=None):
+        p = p or tiny_params()
+        node = ColoringNode(0, p)
+        node.wake(0)
+        drive(node, rng, 0, p.wait_slots + p.threshold)
+        assert node.color == 0
+        return node, p.wait_slots + p.threshold
+
+    def test_idle_leader_announces(self, rng):
+        node, t = self.make_leader(rng)
+        msg = node.step(t, rng)
+        assert isinstance(msg, ColorMessage) and not isinstance(msg, AssignMessage)
+
+    def test_requests_served_fifo_with_incrementing_tc(self, rng):
+        p = tiny_params()
+        node, t = self.make_leader(rng, p)
+        node.deliver(t, RequestMessage(sender=11, leader=0))
+        node.deliver(t + 1, RequestMessage(sender=12, leader=0))
+        # serve_window = 1: one slot per assignment.
+        m1 = node.step(t + 1, rng)
+        m2 = node.step(t + 2, rng)
+        assert isinstance(m1, AssignMessage) and (m1.target, m1.tc) == (11, 1)
+        assert isinstance(m2, AssignMessage) and (m2.target, m2.tc) == (12, 2)
+
+    def test_duplicate_requests_not_requeued(self, rng):
+        p = tiny_params(beta=5)  # longer window so 11 stays queued
+        node, t = self.make_leader(rng, p)
+        node.deliver(t, RequestMessage(sender=11, leader=0))
+        node.step(t + 1, rng)  # serving 11 now
+        node.deliver(t + 1, RequestMessage(sender=11, leader=0))
+        assert list(node._queue) == [11]
+
+    def test_rerequest_after_service_gets_fresh_tc(self, rng):
+        p = tiny_params()
+        node, t = self.make_leader(rng, p)
+        node.deliver(t, RequestMessage(sender=11, leader=0))
+        m1 = node.step(t + 1, rng)
+        node.step(t + 2, rng)  # window over, queue drained
+        node.deliver(t + 2, RequestMessage(sender=11, leader=0))
+        m2 = node.step(t + 3, rng)
+        assert m1.tc == 1 and m2.tc == 2  # faithful Alg. 3 L10 semantics
+
+    def test_requests_addressed_elsewhere_ignored(self, rng):
+        node, t = self.make_leader(rng)
+        node.deliver(t, RequestMessage(sender=11, leader=99))
+        assert not node._queue
+
+
+class TestColoredNonLeader:
+    def test_announces_color_forever(self, rng):
+        p = tiny_params()
+        node = ColoringNode(0, p)
+        node.wake(0)
+        # First assignment doubles as a leader announcement (A_0 -> R);
+        # the second, received in R, carries the intra-cluster color.
+        node.deliver(0, AssignMessage(sender=7, color=0, target=0, tc=1))
+        node.deliver(1, AssignMessage(sender=7, color=0, target=0, tc=1))
+        # Let it win color 3 unopposed.
+        t = 2
+        while not node.done:
+            node.step(t, rng)
+            t += 1
+            assert t < 100
+        msgs = [node.step(tt, rng) for tt in range(t, t + 5)]
+        assert all(isinstance(m, ColorMessage) and m.color == node.color for m in msgs)
+
+    def test_ignores_all_messages_once_colored(self, rng):
+        p = tiny_params()
+        node = ColoringNode(0, p)
+        node.wake(0)
+        drive(node, rng, 0, p.wait_slots + p.threshold)  # leader now
+        node.deliver(99, CounterMessage(sender=5, color=0, counter=1))
+        assert node.color == 0 and 5 not in node._competitors

@@ -1,0 +1,101 @@
+"""Property-based tests of the Parameters derivations."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Parameters, paper_time_bound
+
+
+valid_dims = st.tuples(
+    st.integers(2, 100_000),  # n
+    st.integers(2, 500),      # delta
+    st.integers(1, 18),       # kappa1 (clamped below)
+    st.integers(2, 18),       # kappa2
+)
+
+
+def mk_practical(dims, scale=1.0):
+    n, delta, k1, k2 = dims
+    return Parameters.practical(n, delta, min(k1, k2), k2, scale=scale)
+
+
+class TestPracticalProperties:
+    @given(valid_dims)
+    def test_construction_always_valid(self, dims):
+        p = mk_practical(dims)
+        assert p.sigma > 2 * p.gamma
+        assert 0 < p.p_active <= p.p_leader <= 0.5
+
+    @given(valid_dims)
+    def test_threshold_exceeds_double_critical_range(self, dims):
+        # The Theorem 2 precondition in integer form: threshold slots
+        # exceed twice the biggest critical range (up to ceiling slack).
+        p = mk_practical(dims)
+        assert p.threshold >= 2 * p.critical_range(1) - 2
+
+    @given(valid_dims)
+    def test_derived_quantities_positive(self, dims):
+        p = mk_practical(dims)
+        assert p.wait_slots >= 1
+        assert p.threshold >= 1
+        assert p.serve_window >= 1
+        assert p.critical_range(0) >= 1
+
+    @given(valid_dims, st.integers(1, 10))
+    def test_color_bands_disjoint(self, dims, tc):
+        # Band of tc ends strictly below band of tc+1 (Lemma 5's fact).
+        p = mk_practical(dims)
+        assert p.color_for_tc(tc) + p.kappa2 < p.color_for_tc(tc + 1)
+
+    @given(valid_dims)
+    def test_monotone_in_delta(self, dims):
+        n, delta, k1, k2 = dims
+        p1 = Parameters.practical(n, delta, min(k1, k2), k2)
+        p2 = Parameters.practical(n, delta + 10, min(k1, k2), k2)
+        assert p2.threshold >= p1.threshold
+        assert p2.wait_slots >= p1.wait_slots
+        assert p2.p_active < p1.p_active
+
+    @given(valid_dims, st.floats(0.3, 3.0))
+    def test_scale_monotone(self, dims, scale):
+        p1 = mk_practical(dims, scale=1.0)
+        p2 = mk_practical(dims, scale=scale)
+        if scale >= 1.0:
+            assert p2.gamma >= p1.gamma
+        else:
+            assert p2.gamma <= p1.gamma
+
+
+class TestTheoreticalProperties:
+    @given(valid_dims)
+    def test_preconditions_always_satisfied(self, dims):
+        n, delta, k1, k2 = dims
+        p = Parameters.theoretical(n, delta, min(k1, k2), k2)
+        assert p.check_analysis_preconditions() == []
+
+    @given(valid_dims)
+    def test_dominates_practical(self, dims):
+        n, delta, k1, k2 = dims
+        th = Parameters.theoretical(n, delta, min(k1, k2), k2)
+        pr = Parameters.practical(n, delta, min(k1, k2), k2)
+        assert th.gamma > pr.gamma
+        assert th.sigma > pr.sigma
+        assert th.alpha > pr.alpha
+
+    @given(valid_dims)
+    def test_gamma_scales_like_kappa2(self, dims):
+        n, delta, k1, k2 = dims
+        p = Parameters.theoretical(n, delta, min(k1, k2), k2)
+        # gamma = 5 k2 / denom with denom <= 1, so gamma >= 5 k2; and the
+        # denominator is bounded below by e^-2ish terms, keeping gamma
+        # within a constant factor of kappa2.
+        assert 5 * k2 <= p.gamma <= 5 * k2 * math.e**2 * 4
+
+
+class TestPaperTimeBound:
+    @given(valid_dims)
+    def test_positive_and_dominates_threshold(self, dims):
+        p = mk_practical(dims)
+        assert paper_time_bound(p) > p.threshold

@@ -1,0 +1,103 @@
+"""Property-based differential testing: optimized vs reference node.
+
+The scripted differential tests in ``test_core_reference.py`` cover
+hand-picked scenarios; here Hypothesis generates *arbitrary* message
+scripts and slot interleavings and requires the optimized
+:class:`ColoringNode` and the executable-spec
+:class:`ReferenceColoringNode` to remain in lockstep at every step —
+same transmissions (type, payload), same state labels, same counters,
+same instrumentation.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ColoringNode, Parameters
+from repro.core.reference import ReferenceColoringNode
+from repro.radio import AssignMessage, ColorMessage, CounterMessage, RequestMessage
+
+
+class AlwaysTransmit:
+    def geometric(self, p):
+        return 1
+
+    def random(self):
+        return 0.0
+
+
+def params():
+    return Parameters(
+        n=12, delta=3, kappa1=2, kappa2=3, alpha=1, beta=2, gamma=1, sigma=3
+    )
+
+
+def messages_strategy():
+    counter_msg = st.builds(
+        CounterMessage,
+        sender=st.integers(20, 26),
+        color=st.integers(0, 5),
+        counter=st.integers(-60, 80),
+    )
+    color_msg = st.builds(
+        ColorMessage, sender=st.integers(20, 26), color=st.integers(0, 5)
+    )
+    assign_msg = st.builds(
+        AssignMessage,
+        sender=st.integers(20, 23),
+        color=st.just(0),
+        target=st.sampled_from([0, 21]),  # sometimes for us, sometimes not
+        tc=st.integers(1, 3),
+    )
+    request_msg = st.builds(
+        RequestMessage, sender=st.integers(20, 26), leader=st.sampled_from([0, 99])
+    )
+    return st.one_of(counter_msg, color_msg, assign_msg, request_msg)
+
+
+# A script: per step either advance the slot or deliver a message.
+script_strategy = st.lists(
+    st.one_of(st.none(), messages_strategy()), min_size=1, max_size=160
+)
+
+
+def observe(node, slot, msg):
+    return (
+        slot,
+        type(msg).__name__ if msg else None,
+        getattr(msg, "counter", None),
+        getattr(msg, "color", None),
+        getattr(msg, "target", None),
+        getattr(msg, "tc", None),
+        node.state.label,
+        node.color,
+        node.tc,
+        node.leader,
+        node.resets,
+        node.min_counter,
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(script_strategy)
+def test_lockstep_under_arbitrary_scripts(script):
+    p = params()
+    opt = ColoringNode(0, p)
+    ref = ReferenceColoringNode(0, p)
+    rng = AlwaysTransmit()
+    opt.wake(0)
+    ref.wake(0)
+    slot = 0
+    for action in script:
+        if action is None:
+            a = observe(opt, slot, opt.step(slot, rng))
+            b = observe(ref, slot, ref.step(slot, rng))
+            assert a == b, f"diverged at slot {slot}: {a} != {b}"
+            slot += 1
+        else:
+            opt.deliver(slot, action)
+            ref.deliver(slot, action)
+            assert opt.state.label == ref.state.label
+            assert opt.resets == ref.resets
+    assert opt.states_visited == ref.states_visited

@@ -1,0 +1,27 @@
+"""Tests for the Fig. 2 state labels."""
+
+import pytest
+
+from repro.core import NodeState, Phase
+
+
+class TestNodeState:
+    def test_labels(self):
+        assert NodeState(Phase.SLEEP).label == "Z"
+        assert NodeState(Phase.REQUEST).label == "R"
+        assert NodeState(Phase.VERIFY, 0).label == "A_0"
+        assert NodeState(Phase.COLORED, 7).label == "C_7"
+
+    def test_verify_requires_index(self):
+        with pytest.raises(ValueError):
+            NodeState(Phase.VERIFY)
+        with pytest.raises(ValueError):
+            NodeState(Phase.COLORED, -1)
+
+    def test_sleep_rejects_index(self):
+        with pytest.raises(ValueError):
+            NodeState(Phase.SLEEP, 0)
+
+    def test_equality(self):
+        assert NodeState(Phase.VERIFY, 3) == NodeState(Phase.VERIFY, 3)
+        assert NodeState(Phase.VERIFY, 3) != NodeState(Phase.VERIFY, 4)

@@ -1,0 +1,54 @@
+"""Documentation-coverage gate: every public item carries a docstring.
+
+Deliverable (e) of the reproduction requires doc comments on every
+public item; this test makes that a checked property instead of a hope.
+It walks every module under ``repro``, collects public classes,
+functions, and methods, and fails with a list of any that lack a
+docstring.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it runs the CLI
+        yield importlib.import_module(info.name)
+
+
+def is_local(obj, module) -> bool:
+    return getattr(obj, "__module__", None) == module.__name__
+
+
+def test_every_public_symbol_documented():
+    missing: list[str] = []
+    for module in iter_modules():
+        if not module.__doc__:
+            missing.append(module.__name__)
+        for name, obj in vars(module).items():
+            if name.startswith("_") or not is_local(obj, module):
+                continue
+            if inspect.isfunction(obj) and not obj.__doc__:
+                missing.append(f"{module.__name__}.{name}")
+            elif inspect.isclass(obj):
+                if not obj.__doc__:
+                    missing.append(f"{module.__name__}.{name}")
+                for mname, mobj in vars(obj).items():
+                    if mname.startswith("_"):
+                        continue
+                    if inspect.isfunction(mobj) and not mobj.__doc__:
+                        missing.append(f"{module.__name__}.{name}.{mname}")
+    assert not missing, "undocumented public items:\n  " + "\n  ".join(sorted(missing))
+
+
+def test_all_exports_resolve():
+    """Every name in each module's __all__ actually exists."""
+    for module in iter_modules():
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module.__name__}.__all__ lists missing {name}"

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the deliverable; this keeps them from rotting.
+Each runs as a subprocess with a generous timeout.  ``paper_tour.py`` is
+exercised with a restricted experiment set (the full tour is a
+benchmark-scale run, not a test).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+SCRIPTS = [
+    "quickstart.py",
+    "sensor_tdma.py",
+    "obstacles_and_fading.py",
+    "asynchronous_wakeup.py",
+    "incremental_join.py",
+    "figure3_traces.py",
+    "network_atlas.py",
+]
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_paper_tour_restricted(tmp_path):
+    out = tmp_path / "report.md"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(EXAMPLES / "paper_tour.py"),
+            "--only",
+            "e5_kappa",
+            "--seeds",
+            "1",
+            "--out",
+            str(out),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert out.exists()
+    assert "e5_kappa" in out.read_text()

@@ -1,0 +1,102 @@
+"""Structural tests of every experiment module's output.
+
+Each experiment runs in a minimal configuration and its table is checked
+for the structural facts the benches and EXPERIMENTS.md rely on: the
+expected columns exist, rates live in [0, 1], and the headline
+quantities satisfy the claims' hard bounds where those are deterministic
+(kappa bounds, Lemma 1, etc.).
+"""
+
+import pytest
+
+from repro.experiments import (
+    e1_correctness,
+    e3_colors,
+    e4_locality,
+    e5_kappa,
+    e7_wakeup,
+    e10_tdma,
+    e12_local_delta,
+    e15_incremental,
+    e16_leader_failure,
+)
+
+
+def rates_valid(table, cols):
+    for row in table.rows:
+        for c in cols:
+            if c in row:
+                assert 0.0 <= row[c] <= 1.0, (c, row)
+
+
+class TestE1:
+    def test_structure(self):
+        t = e1_correctness.run(quick=True, seeds=1)
+        assert {"proper_rate", "complete_rate", "temporal_rate"} <= set(t.columns())
+        rates_valid(t, ["proper_rate", "complete_rate", "temporal_rate"])
+        assert len(t.rows) == 4  # 2 sizes x 2 schedules
+
+
+class TestE3:
+    def test_bound_column_dominates(self):
+        t = e3_colors.run(quick=True, seeds=1)
+        for row in t.rows:
+            assert row["max_color"] <= row["bound_k2_delta"]
+
+
+class TestE4:
+    def test_construction_bound_rate(self):
+        t = e4_locality.run(quick=True, seeds=1)
+        rates_valid(t, ["construction_rate", "strict_rate"])
+        for row in t.rows:
+            # The construction bound must hold whenever runs succeeded.
+            assert row["construction_rate"] == 1.0
+
+
+class TestE5:
+    def test_udg_model_bounds(self):
+        t = e5_kappa.run(quick=True, seeds=1)
+        by_model = {row["model"]: row for row in t.rows}
+        assert by_model["udg"]["kappa1_max"] <= 5
+        assert by_model["udg"]["kappa2_max"] <= 18
+        assert by_model["ubg_linf_d1"]["kappa2_max"] <= 4
+        for row in t.rows:
+            assert row["lemma1_rate"] == 1.0
+
+
+class TestE7:
+    def test_all_schedules_present(self):
+        from repro.wakeup import ALL_SCHEDULES
+
+        t = e7_wakeup.run(quick=True, seeds=1)
+        assert {row["schedule"] for row in t.rows} == set(ALL_SCHEDULES)
+
+
+class TestE10:
+    def test_zero_direct_interference_on_success(self):
+        t = e10_tdma.run(quick=True, seeds=1)
+        for row in t.rows:
+            if "direct_interference" in row:
+                assert row["direct_interference"] == 0
+                assert row["max_interferers"] <= row["kappa1"]
+
+
+class TestE12:
+    def test_modes_present(self):
+        t = e12_local_delta.run(quick=True, seeds=1)
+        assert {row["parameterization"] for row in t.rows} == {"global", "local"}
+
+
+class TestE15:
+    def test_columns(self):
+        t = e15_incremental.run(quick=True, seeds=1)
+        rates_valid(t, ["success_rate", "base_done_first"])
+        assert all(row["t_join_max"] > 0 for row in t.rows)
+
+
+class TestE16:
+    def test_no_kill_no_stuck(self):
+        t = e16_leader_failure.run(quick=True, seeds=1)
+        baseline = [r for r in t.rows if r["kill_fraction"] == 0.0]
+        assert baseline and baseline[0]["stuck_nodes"] == 0
+        rates_valid(t, ["proper", "stuck_were_waiting_on_dead"])

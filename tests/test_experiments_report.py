@@ -1,0 +1,54 @@
+"""Tests for the consolidated report generator and experiment registry."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS
+from repro.experiments.report import EXPERIMENT_ORDER, generate_report
+
+
+class TestRegistryConsistency:
+    def test_report_order_matches_cli_registry(self):
+        cli_modules = {mod for mod, _ in EXPERIMENTS.values()}
+        assert set(EXPERIMENT_ORDER) == cli_modules
+
+    def test_all_modules_have_run(self):
+        import importlib
+
+        for name in EXPERIMENT_ORDER:
+            mod = importlib.import_module(f"repro.experiments.{name}")
+            assert callable(mod.run)
+            # Every run() accepts the harness keywords.
+            import inspect
+
+            sig = inspect.signature(mod.run)
+            assert "quick" in sig.parameters and "seeds" in sig.parameters
+
+
+class TestGenerateReport:
+    def test_single_experiment_report(self):
+        calls = []
+        text = generate_report(
+            quick=True,
+            seeds=1,
+            only=["e5_kappa"],
+            progress=lambda name, dt, table: calls.append(name),
+        )
+        assert calls == ["e5_kappa"]
+        assert "# Reproduction report" in text
+        assert "e5_kappa" in text
+        assert "udg" in text  # the rendered table body
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            generate_report(only=["e99_nope"])
+
+    def test_report_order_preserved(self):
+        order = []
+        generate_report(
+            quick=True,
+            seeds=1,
+            only=["e5_kappa", "e4_locality"],
+            progress=lambda name, dt, table: order.append(name),
+        )
+        # Canonical order, not the order given in `only`.
+        assert order == ["e4_locality", "e5_kappa"]

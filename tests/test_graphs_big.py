@@ -1,0 +1,97 @@
+"""Tests for generalized BIG generators (quasi-UDG, obstacles, fading)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import bernoulli_fading, quasi_udg, random_udg, wall_obstacle_udg
+from repro.graphs.big import _segments_intersect
+
+
+class TestQuasiUdg:
+    def test_inner_links_certain_outer_absent(self):
+        dep = quasi_udg(60, r_in=1.0, r_out=1.6, side=6.0, seed=11)
+        pts = dep.positions
+        for u in range(dep.n):
+            for v in range(u + 1, dep.n):
+                d = float(np.linalg.norm(pts[u] - pts[v]))
+                if d <= 1.0:
+                    assert dep.graph.has_edge(u, v)
+                elif d > 1.6:
+                    assert not dep.graph.has_edge(u, v)
+
+    def test_gray_zone_probability(self):
+        # With link_prob=0 the quasi-UDG equals the inner UDG.
+        dep0 = quasi_udg(50, r_in=1.0, r_out=2.0, side=5.0, link_prob=0.0, seed=3)
+        pts = dep0.positions
+        for u, v in dep0.graph.edges:
+            assert np.linalg.norm(pts[u] - pts[v]) <= 1.0 + 1e-9
+
+    def test_rejects_bad_radii(self):
+        with pytest.raises(ValueError):
+            quasi_udg(10, r_in=2.0, r_out=1.0, side=5.0)
+
+    def test_reproducible(self):
+        a = quasi_udg(40, r_in=0.8, r_out=1.4, side=5.0, seed=8)
+        b = quasi_udg(40, r_in=0.8, r_out=1.4, side=5.0, seed=8)
+        assert sorted(a.graph.edges) == sorted(b.graph.edges)
+
+
+class TestSegmentsIntersect:
+    def test_crossing(self):
+        assert _segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_parallel_disjoint(self):
+        assert not _segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_touching_endpoint(self):
+        assert _segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_collinear_disjoint(self):
+        assert not _segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+
+class TestWallObstacleUdg:
+    def test_wall_blocks_links(self):
+        # A full-height vertical wall at x=2 disconnects the halves.
+        dep = wall_obstacle_udg(
+            80, radius=1.2, side=4.0, walls=[((2.0, -1.0), (2.0, 5.0))], seed=5
+        )
+        pts = dep.positions
+        for u, v in dep.graph.edges:
+            assert (pts[u][0] - 2.0) * (pts[v][0] - 2.0) > 0
+
+    def test_no_walls_is_plain_udg(self):
+        dep = wall_obstacle_udg(40, radius=1.0, side=4.0, walls=[], seed=5)
+        assert dep.meta["blocked"] == 0
+
+    def test_blocked_count_recorded(self):
+        dep = wall_obstacle_udg(
+            60, radius=1.5, side=4.0, walls=[((2.0, 0.0), (2.0, 4.0))], seed=5
+        )
+        assert dep.meta["blocked"] > 0
+
+
+class TestBernoulliFading:
+    def test_probability_extremes(self):
+        base = random_udg(50, side=4.0, seed=7)
+        keep = bernoulli_fading(base, 0.0, seed=1)
+        assert keep.m == base.m
+        kill = bernoulli_fading(base, 1.0, seed=1)
+        assert kill.m == 0
+
+    def test_subset_of_base(self):
+        base = random_udg(50, side=4.0, seed=7)
+        faded = bernoulli_fading(base, 0.4, seed=2)
+        assert set(faded.graph.edges) <= {tuple(sorted(e)) for e in base.graph.edges} | set(
+            base.graph.edges
+        )
+
+    def test_rejects_bad_probability(self):
+        base = random_udg(10, side=3.0, seed=7)
+        with pytest.raises(ValueError):
+            bernoulli_fading(base, 1.5)
+
+    def test_kind_tag_extended(self):
+        base = random_udg(10, side=3.0, seed=7)
+        assert "fading" in bernoulli_fading(base, 0.3, seed=0).kind

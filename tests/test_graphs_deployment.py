@@ -1,0 +1,70 @@
+"""Tests for the Deployment container."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import Deployment, from_graph, ring_deployment
+
+
+class TestConstruction:
+    def test_requires_zero_indexed_labels(self):
+        g = nx.Graph([(1, 2)])
+        with pytest.raises(ValueError, match="0..n-1"):
+            Deployment(graph=g)
+
+    def test_from_graph_relabels(self):
+        g = nx.Graph([("a", "b"), ("b", "c")])
+        dep = from_graph(g)
+        assert set(dep.graph.nodes) == {0, 1, 2}
+
+    def test_positions_row_mismatch_rejected(self):
+        g = nx.path_graph(3)
+        with pytest.raises(ValueError, match="rows"):
+            Deployment(graph=g, positions=np.zeros((2, 2)))
+
+
+class TestBasicFacts:
+    def test_counts(self):
+        dep = ring_deployment(6)
+        assert dep.n == 6
+        assert dep.m == 6
+
+    def test_degree_includes_self(self):
+        # Paper footnote 1: delta_v counts v itself.
+        dep = ring_deployment(6)
+        assert dep.degree(0) == 3
+        assert dep.max_degree == 3
+
+    def test_max_degree_empty_graph(self):
+        dep = Deployment(graph=nx.Graph())
+        assert dep.max_degree == 0
+
+
+class TestNeighborhoods:
+    def test_neighbors_sorted_open(self):
+        dep = ring_deployment(5)
+        assert dep.neighbors[0].tolist() == [1, 4]
+
+    def test_closed_neighborhood_includes_self(self):
+        dep = ring_deployment(5)
+        assert dep.closed_neighborhood(0).tolist() == [0, 1, 4]
+
+    def test_two_hop_on_ring(self):
+        dep = ring_deployment(7)
+        assert dep.two_hop[0].tolist() == [0, 1, 2, 5, 6]
+
+    def test_two_hop_small_ring_saturates(self):
+        dep = ring_deployment(4)
+        assert dep.two_hop[0].tolist() == [0, 1, 2, 3]
+
+
+class TestConvenience:
+    def test_connectivity(self):
+        assert ring_deployment(5).is_connected()
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        assert not Deployment(graph=g).is_connected()
+
+    def test_describe_mentions_kind(self):
+        assert "ring" in ring_deployment(5).describe()

@@ -1,0 +1,64 @@
+"""Tests for deployment serialization."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import random_udg, ring_deployment
+from repro.graphs.io import (
+    deployment_from_json,
+    deployment_to_json,
+    load_deployment,
+    save_deployment,
+)
+
+
+class TestRoundtrip:
+    def test_udg_roundtrip(self):
+        dep = random_udg(40, expected_degree=8, seed=6)
+        back = deployment_from_json(deployment_to_json(dep))
+        assert back.n == dep.n
+        assert sorted(back.graph.edges) == sorted(dep.graph.edges)
+        assert np.allclose(back.positions, dep.positions)
+        assert back.kind == dep.kind
+        assert back.meta["radius"] == dep.meta["radius"]
+
+    def test_geometryless_roundtrip(self):
+        dep = ring_deployment(7)
+        back = deployment_from_json(deployment_to_json(dep))
+        assert back.positions is None
+        assert sorted(back.graph.edges) == sorted(dep.graph.edges)
+
+    def test_save_load(self, tmp_path):
+        dep = random_udg(15, side=3.0, seed=2)
+        p = save_deployment(dep, tmp_path / "deep" / "net.json")
+        assert p.exists()
+        back = load_deployment(p)
+        assert sorted(back.graph.edges) == sorted(dep.graph.edges)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            deployment_from_json('{"format": "something-else"}')
+
+    def test_kappas_survive_roundtrip(self):
+        from repro.graphs import kappas
+
+        dep = random_udg(40, expected_degree=9, seed=8)
+        back = deployment_from_json(deployment_to_json(dep))
+        assert kappas(dep) == kappas(back)
+
+    def test_runnable_after_roundtrip(self):
+        from repro import run_coloring
+
+        dep = random_udg(25, expected_degree=7, seed=3, connected=True)
+        back = deployment_from_json(deployment_to_json(dep))
+        res = run_coloring(back, seed=30)
+        assert res.completed and res.proper
+
+    def test_walls_meta_survives_as_data_or_repr(self):
+        from repro.graphs import wall_obstacle_udg
+
+        dep = wall_obstacle_udg(
+            20, radius=1.0, side=4.0, walls=[((2.0, 0.0), (2.0, 4.0))], seed=1
+        )
+        back = deployment_from_json(deployment_to_json(dep))
+        assert back.meta["blocked"] == dep.meta["blocked"]

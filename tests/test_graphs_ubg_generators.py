@@ -1,0 +1,75 @@
+"""Tests for unit ball graphs and deterministic generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    clique_deployment,
+    doubling_grid_ubg,
+    kappa2,
+    path_deployment,
+    ring_deployment,
+    star_deployment,
+    unit_ball_graph,
+)
+
+
+class TestUnitBallGraph:
+    def test_linf_metric(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [2.5, 0.0]])
+        dep = unit_ball_graph(pts, "linf")
+        assert dep.graph.has_edge(0, 1)  # linf distance exactly 1
+        assert not dep.graph.has_edge(0, 2)
+
+    def test_l2_vs_linf_differ(self):
+        pts = np.array([[0.0, 0.0], [0.9, 0.9]])
+        assert unit_ball_graph(pts, "linf").m == 1
+        assert unit_ball_graph(pts, "l2").m == 0  # l2 distance ~1.27
+
+    def test_custom_metric_callable(self):
+        pts = np.array([[0.0], [3.0]])
+        dep = unit_ball_graph(pts, lambda p, q: abs(p[0] - q[0]) / 4.0)
+        assert dep.m == 1
+
+    def test_unknown_metric_name(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            unit_ball_graph(np.zeros((2, 2)), "chebyshevish")
+
+
+class TestDoublingGridUbg:
+    def test_lemma9_bound_dim1(self):
+        # rho = 1 -> kappa_2 <= 4.
+        dep = doubling_grid_ubg(40, dim=1, side=10.0, seed=2)
+        assert kappa2(dep) <= 4
+
+    def test_lemma9_bound_dim2(self):
+        dep = doubling_grid_ubg(60, dim=2, side=7.0, seed=3)
+        assert kappa2(dep) <= 16
+
+    def test_meta_records_dimension(self):
+        dep = doubling_grid_ubg(10, dim=3, side=3.0, seed=1)
+        assert dep.meta["doubling_dimension"] == 3
+
+    def test_rejects_dim_zero(self):
+        with pytest.raises(ValueError):
+            doubling_grid_ubg(10, dim=0, side=3.0)
+
+
+class TestDeterministicGenerators:
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring_deployment(2)
+
+    def test_path(self):
+        dep = path_deployment(5)
+        assert dep.m == 4
+        assert dep.max_degree == 3
+
+    def test_clique_delta(self):
+        dep = clique_deployment(6)
+        assert dep.max_degree == 6  # closed degree counts self
+
+    def test_star(self):
+        dep = star_deployment(9)
+        assert dep.n == 10
+        assert dep.max_degree == 10

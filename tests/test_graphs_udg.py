@@ -1,0 +1,93 @@
+"""Tests for unit disk graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import clustered_udg, grid_udg, random_udg
+from repro.graphs.udg import udg_from_points
+
+
+class TestUdgFromPoints:
+    def test_edges_match_distances(self):
+        pts = np.array([[0.0, 0.0], [0.5, 0.0], [2.0, 0.0]])
+        dep = udg_from_points(pts, radius=1.0)
+        assert dep.graph.has_edge(0, 1)
+        assert not dep.graph.has_edge(0, 2)
+        assert not dep.graph.has_edge(1, 2)
+
+    def test_boundary_distance_included(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        dep = udg_from_points(pts, radius=1.0)
+        assert dep.graph.has_edge(0, 1)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="2-D"):
+            udg_from_points(np.zeros(5), radius=1.0)
+
+    def test_single_point(self):
+        dep = udg_from_points(np.zeros((1, 2)), radius=1.0)
+        assert dep.n == 1 and dep.m == 0
+
+
+class TestRandomUdg:
+    def test_reproducible(self):
+        a = random_udg(40, seed=3, side=5.0)
+        b = random_udg(40, seed=3, side=5.0)
+        assert sorted(a.graph.edges) == sorted(b.graph.edges)
+        assert np.array_equal(a.positions, b.positions)
+
+    def test_expected_degree_sizing(self):
+        dep = random_udg(300, expected_degree=12, seed=5)
+        degs = [dep.degree(v) for v in range(dep.n)]
+        # Boundary effects lower the mean a bit; allow generous slack.
+        assert 6 <= np.mean(degs) <= 16
+
+    def test_rejects_both_side_and_degree(self):
+        with pytest.raises(ValueError, match="not both"):
+            random_udg(10, side=4.0, expected_degree=6)
+
+    def test_connected_flag(self):
+        dep = random_udg(60, expected_degree=10, seed=1, connected=True)
+        assert dep.is_connected()
+
+    def test_connected_impossible_raises(self):
+        with pytest.raises(RuntimeError, match="connected"):
+            random_udg(50, side=200.0, radius=0.5, seed=1, connected=True, max_tries=3)
+
+    def test_zero_nodes(self):
+        dep = random_udg(0, side=1.0, seed=0)
+        assert dep.n == 0
+
+
+class TestGridUdg:
+    def test_four_neighborhood(self):
+        dep = grid_udg(3, 3, spacing=0.9, radius=1.0)
+        # Center node (index 4) connects to the 4 axis neighbors only
+        # (diagonal distance 0.9*sqrt(2) > 1).
+        assert sorted(dep.graph.neighbors(4)) == [1, 3, 5, 7]
+
+    def test_diagonals_with_tight_spacing(self):
+        dep = grid_udg(3, 3, spacing=0.6, radius=1.0)
+        assert dep.graph.has_edge(4, 0)  # diagonal now within radius
+
+    def test_jitter_reproducible(self):
+        a = grid_udg(4, 4, jitter=0.1, seed=9)
+        b = grid_udg(4, 4, jitter=0.1, seed=9)
+        assert np.array_equal(a.positions, b.positions)
+
+
+class TestClusteredUdg:
+    def test_sizes(self):
+        dep = clustered_udg(3, 10, background=7, seed=2)
+        assert dep.n == 37
+
+    def test_clusters_are_denser_than_background(self):
+        dep = clustered_udg(2, 15, background=10, side=14.0, seed=4)
+        cluster_deg = np.mean([dep.degree(v) for v in range(30)])
+        back_deg = np.mean([dep.degree(v) for v in range(30, 40)])
+        assert cluster_deg > back_deg
+
+    def test_positions_within_side(self):
+        dep = clustered_udg(3, 8, background=5, side=10.0, seed=6)
+        assert dep.positions.min() >= 0.0
+        assert dep.positions.max() <= 10.0

@@ -1,0 +1,122 @@
+"""Edge-case tests sweeping up under-covered corners across modules."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.experiments.runner import Table
+from repro.graphs import Deployment, from_graph, grid_udg, path_deployment, ring_deployment
+from repro.radio.messages import CounterMessage, _value_bits, message_bits
+
+
+class TestDeploymentEdges:
+    def test_self_loops_rejected(self):
+        g = nx.Graph([(0, 0), (0, 1)])
+        with pytest.raises(ValueError, match="self-loop"):
+            Deployment(graph=g)
+
+    def test_subgraph_view(self):
+        dep = ring_deployment(6)
+        sub = dep.subgraph_view([0, 1, 2])
+        assert sorted(sub.edges) == [(0, 1), (1, 2)]
+
+    def test_describe_contains_counts(self):
+        d = path_deployment(4).describe()
+        assert "n=4" in d and "m=3" in d
+
+    def test_neighbors_cache_identity(self):
+        dep = ring_deployment(5)
+        assert dep.neighbors is dep.neighbors  # cached, not rebuilt
+        assert dep.two_hop is dep.two_hop
+
+    def test_grid_kappas_known(self):
+        from repro.graphs import kappas
+
+        dep = grid_udg(4, 4, spacing=0.9)
+        k1, k2 = kappas(dep)
+        # 4-neighborhood grid: 1-hop nbhd of an interior node is a star
+        # of 4 independent leaves; 2-hop MIS is larger but bounded.
+        assert k1 == 4
+        assert 4 <= k2 <= 8
+
+
+class TestMessageBitsEdges:
+    def test_value_bits_zero(self):
+        assert _value_bits(0) == 2  # sign + 1 bit
+
+    def test_value_bits_symmetry(self):
+        for v in (1, 7, 255, 1000):
+            assert _value_bits(v) == _value_bits(-v)
+
+    def test_message_bits_monotone_in_n(self):
+        m = CounterMessage(sender=1, color=1, counter=1)
+        assert message_bits(m, 10_000) > message_bits(m, 10)
+
+
+class TestTableFormatting:
+    def test_missing_cells_render_blank(self):
+        t = Table("x")
+        t.add(a=1)
+        t.add(b=2.0)
+        text = t.render()
+        assert "a" in text and "b" in text
+
+    def test_float_formats(self):
+        t = Table("x")
+        t.add(tiny=0.0001, big=123456.0, nan=float("nan"), plain=1.5)
+        row = t.render().splitlines()[3]
+        assert "0.0001" in row and "1.23e+05" in row and "nan" in row and "1.5" in row
+
+    def test_bool_rendering(self):
+        t = Table("x")
+        t.add(ok=True, bad=False)
+        assert "yes" in t.render() and "no" in t.render()
+
+    def test_empty_table_renders_header_only(self):
+        t = Table("empty")
+        assert "empty" in t.render()
+
+
+class TestEngineRunEdges:
+    def test_check_every_respected(self):
+        from repro.radio import RadioSimulator
+
+        from .conftest import ListenerNode
+
+        dep = path_deployment(2)
+        calls = []
+
+        def stop(sim):
+            calls.append(sim.slot)
+            return False
+
+        sim = RadioSimulator(
+            dep,
+            [ListenerNode(0), ListenerNode(1)],
+            np.zeros(2, dtype=np.int64),
+            np.random.default_rng(0),
+        )
+        sim.run(64, stop_when=stop, check_every=16)
+        # Checked at multiples of 16, plus the final post-loop check.
+        assert calls[:4] == [16, 32, 48, 64]
+
+
+class TestCliColorFailurePath:
+    def test_loss_and_regime_flags(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            ["color", "--n", "20", "--degree", "6", "--seed", "2",
+             "--loss", "0.1", "--regime", "practical"]
+        )
+        out = capsys.readouterr().out
+        assert rc in (0, 1)  # small lossy runs may legitimately fail whp
+        assert "slots" in out
+
+
+class TestFromGraphEdges:
+    def test_from_graph_copies(self):
+        g = nx.path_graph(3)
+        dep = from_graph(g)
+        g.add_edge(0, 2)
+        assert not dep.graph.has_edge(0, 2)  # defensive copy

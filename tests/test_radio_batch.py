@@ -1,0 +1,131 @@
+"""Tests for the vectorized batch channel simulator, including the
+differential test against the event-driven engine."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import path_deployment, random_udg, star_deployment
+from repro.radio import RadioSimulator
+from repro.radio.batch import channel_outcomes, simulate_beacons
+
+from .conftest import ListenerNode
+
+
+class TestChannelOutcomes:
+    def test_single_transmitter(self):
+        dep = path_deployment(3)
+        tx = np.array([[True, False, False]])
+        received, sender, collided = channel_outcomes(dep, tx)
+        assert received[0].tolist() == [False, True, False]
+        assert sender[0, 1] == 0
+        assert not collided.any()
+
+    def test_collision(self):
+        dep = star_deployment(2)
+        tx = np.array([[False, True, True]])
+        received, _, collided = channel_outcomes(dep, tx)
+        assert not received[0, 0]
+        assert collided[0, 0]
+
+    def test_transmitter_cannot_receive(self):
+        dep = path_deployment(2)
+        tx = np.array([[True, True]])
+        received, _, _ = channel_outcomes(dep, tx)
+        assert not received.any()
+
+    def test_sender_attribution_unique(self):
+        # Hidden-terminal: 0 and 3 transmit on a path; 1 hears 0, 2 hears 3.
+        dep = path_deployment(4)
+        tx = np.array([[True, False, False, True]])
+        received, sender, _ = channel_outcomes(dep, tx)
+        assert sender[0, 1] == 0 and sender[0, 2] == 3
+
+    def test_shape_validation(self):
+        dep = path_deployment(3)
+        with pytest.raises(ValueError):
+            channel_outcomes(dep, np.zeros((4, 2), dtype=bool))
+
+
+class TestDifferentialVsEngine:
+    """Identical transmission matrices must yield identical receptions in
+    the batch resolver and the event-driven engine."""
+
+    class MatrixNode(ListenerNode):
+        def __init__(self, vid, tx_col):
+            super().__init__(vid)
+            self.tx_col = tx_col
+
+        def step(self, slot, rng):
+            from repro.radio import ColorMessage
+
+            if self.tx_col[slot]:
+                return ColorMessage(sender=self.vid, color=0)
+            return None
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_engine(self, seed):
+        dep = random_udg(20, expected_degree=6, seed=seed)
+        rng = np.random.default_rng(seed + 50)
+        slots = 40
+        tx = rng.random((slots, dep.n)) < 0.15
+        # Engine run with scripted transmissions.
+        nodes = [self.MatrixNode(v, tx[:, v]) for v in range(dep.n)]
+        sim = RadioSimulator(
+            dep, nodes, np.zeros(dep.n, dtype=np.int64), np.random.default_rng(0)
+        )
+        for _ in range(slots):
+            sim.step()
+        received, sender, collided = channel_outcomes(dep, tx)
+        for u in range(dep.n):
+            engine_rx = [(s, m.sender) for s, m in nodes[u].received]
+            batch_rx = [
+                (int(t), int(sender[t, u]))
+                for t in range(slots)
+                if received[t, u]
+            ]
+            assert engine_rx == batch_rx
+        assert collided.sum() == sim.trace.collision_count.sum()
+
+
+class TestSimulateBeacons:
+    def test_counts_consistent(self):
+        dep = random_udg(25, expected_degree=6, seed=3)
+        res = simulate_beacons(dep, np.full(dep.n, 0.1), slots=500, seed=4)
+        assert res.slots == 500
+        assert res.pair_rx.sum() == res.rx_count.sum()
+        assert (res.tx_count >= res.success_count).all()
+
+    def test_reception_rate_matches_theory_isolated_pair(self):
+        # Two isolated nodes: P[0 receives from 1] = p(1-p).
+        dep = path_deployment(2)
+        p = 0.3
+        res = simulate_beacons(dep, np.array([p, p]), slots=30_000, seed=7)
+        assert res.reception_rate(0, 1) == pytest.approx(p * (1 - p), rel=0.08)
+
+    def test_success_rate_lone_node(self):
+        # A lone transmitter is always the sole one in its N^2.
+        import networkx as nx
+
+        from repro.graphs import from_graph
+
+        dep = from_graph(nx.empty_graph(1))
+        res = simulate_beacons(dep, np.array([0.25]), slots=20_000, seed=8)
+        assert res.success_rate(0) == pytest.approx(0.25, rel=0.08)
+
+    def test_chunking_equivalent(self):
+        dep = random_udg(15, expected_degree=5, seed=9)
+        probs = np.full(dep.n, 0.2)
+        a = simulate_beacons(dep, probs, slots=300, seed=10, chunk=37)
+        b = simulate_beacons(dep, probs, slots=300, seed=10, chunk=300)
+        assert np.array_equal(a.tx_count, b.tx_count)
+        assert np.array_equal(a.rx_count, b.rx_count)
+        assert (a.pair_rx != b.pair_rx).nnz == 0
+
+    def test_validation(self):
+        dep = path_deployment(2)
+        with pytest.raises(ValueError):
+            simulate_beacons(dep, np.array([0.5]), slots=10)
+        with pytest.raises(ValueError):
+            simulate_beacons(dep, np.array([0.5, 1.5]), slots=10)
+        with pytest.raises(ValueError):
+            simulate_beacons(dep, np.array([0.5, 0.5]), slots=0)

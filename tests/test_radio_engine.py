@@ -1,0 +1,200 @@
+"""Tests for the radio engine's collision and wake-up semantics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import path_deployment, ring_deployment, star_deployment
+from repro.radio import RadioSimulator, TraceRecorder
+
+from .conftest import BeaconNode, ListenerNode
+
+
+def make_sim(dep, nodes, wake=None, seed=0, **kw):
+    wake = np.zeros(dep.n, dtype=np.int64) if wake is None else np.asarray(wake)
+    return RadioSimulator(dep, nodes, wake, np.random.default_rng(seed), **kw)
+
+
+class TestReceptionRule:
+    def test_single_transmitter_delivered(self):
+        # path 0-1-2: only node 0 beacons; 1 hears it, 2 does not (not adjacent).
+        dep = path_deployment(3)
+        nodes = [BeaconNode(0, p=1.0), ListenerNode(1), ListenerNode(2)]
+        sim = make_sim(dep, nodes)
+        sim.step()
+        assert len(nodes[1].received) == 1
+        assert nodes[2].received == []
+
+    def test_two_transmitters_collide(self):
+        # star: both leaves transmit every slot -> hub never receives.
+        dep = star_deployment(2)  # hub 0, leaves 1, 2
+        nodes = [ListenerNode(0), BeaconNode(1, p=1.0), BeaconNode(2, p=1.0)]
+        sim = make_sim(dep, nodes)
+        for _ in range(10):
+            sim.step()
+        assert nodes[0].received == []
+        assert sim.trace.collision_count[0] == 10
+
+    def test_transmitter_cannot_receive(self):
+        # Two adjacent beacons always transmitting: neither ever receives.
+        dep = path_deployment(2)
+        nodes = [BeaconNode(0, p=1.0), BeaconNode(1, p=1.0)]
+        sim = make_sim(dep, nodes)
+        for _ in range(5):
+            sim.step()
+        assert nodes[0].received == [] and nodes[1].received == []
+
+    def test_no_self_reception(self):
+        dep = path_deployment(1)
+        nodes = [BeaconNode(0, p=1.0)]
+        sim = make_sim(dep, nodes)
+        sim.step()
+        assert nodes[0].received == []
+
+    def test_hidden_terminal(self):
+        # path 0-1-2-3: 0 and 3 transmit (not mutually adjacent).  1 and 2
+        # each have exactly one transmitting neighbor -> both receive,
+        # from different senders.
+        dep = path_deployment(4)
+        nodes = [BeaconNode(0, 1.0), ListenerNode(1), ListenerNode(2), BeaconNode(3, 1.0)]
+        sim = make_sim(dep, nodes)
+        sim.step()
+        assert nodes[1].received[0][1].sender == 0
+        assert nodes[2].received[0][1].sender == 3
+
+    def test_multihop_partial_reception(self):
+        # star with 3 leaves + one extra node adjacent to leaf 1 only:
+        # hub hears a collision while the outsider receives leaf 1 fine.
+        import networkx as nx
+
+        from repro.graphs import from_graph
+
+        g = nx.star_graph(3)  # 0 hub; 1,2,3 leaves
+        g.add_edge(1, 4)
+        dep = from_graph(g)
+        nodes = [
+            ListenerNode(0),
+            BeaconNode(1, 1.0),
+            BeaconNode(2, 1.0),
+            ListenerNode(3),
+            ListenerNode(4),
+        ]
+        sim = make_sim(dep, nodes)
+        sim.step()
+        assert nodes[0].received == []  # collision of 1 and 2
+        assert len(nodes[4].received) == 1  # hears only leaf 1
+        assert nodes[3].received == []  # adjacent only to the silent hub
+
+
+class TestWakeup:
+    def test_sleeping_nodes_receive_nothing(self):
+        dep = path_deployment(2)
+        nodes = [BeaconNode(0, p=1.0), ListenerNode(1)]
+        sim = make_sim(dep, nodes, wake=[0, 5])
+        for _ in range(5):
+            sim.step()
+        assert nodes[1].received == []  # asleep through slot 4
+        sim.step()  # slot 5: wakes, then receives
+        assert len(nodes[1].received) == 1
+
+    def test_sleeping_nodes_do_not_transmit(self):
+        dep = path_deployment(2)
+        nodes = [BeaconNode(0, p=1.0), ListenerNode(1)]
+        sim = make_sim(dep, nodes, wake=[3, 0])
+        for _ in range(3):
+            sim.step()
+        assert nodes[0].sent == 0
+        assert nodes[1].received == []
+
+    def test_wake_slot_recorded_in_trace(self):
+        dep = path_deployment(3)
+        nodes = [ListenerNode(i) for i in range(3)]
+        sim = make_sim(dep, nodes, wake=[4, 0, 2])
+        for _ in range(6):
+            sim.step()
+        assert sim.trace.wake_slot.tolist() == [4, 0, 2]
+
+    def test_all_woken_flag(self):
+        dep = path_deployment(2)
+        nodes = [ListenerNode(0), ListenerNode(1)]
+        sim = make_sim(dep, nodes, wake=[0, 3])
+        sim.step()
+        assert not sim.all_woken
+        for _ in range(3):
+            sim.step()
+        assert sim.all_woken
+
+
+class TestRunLoop:
+    def test_stop_when(self):
+        dep = path_deployment(2)
+        nodes = [BeaconNode(0, p=1.0), ListenerNode(1)]
+        sim = make_sim(dep, nodes)
+        res = sim.run(max_slots=1000, stop_when=lambda s: len(nodes[1].received) >= 3)
+        assert res.stopped_early
+        assert res.slots <= 64
+
+    def test_timeout(self):
+        dep = path_deployment(2)
+        nodes = [ListenerNode(0), ListenerNode(1)]
+        sim = make_sim(dep, nodes)
+        res = sim.run(max_slots=10, stop_when=lambda s: False)
+        assert res.timed_out and res.slots == 10
+
+    def test_stop_not_checked_before_all_woken(self):
+        dep = path_deployment(2)
+        nodes = [ListenerNode(0), ListenerNode(1)]
+        sim = make_sim(dep, nodes, wake=[0, 100])
+        res = sim.run(max_slots=50, stop_when=lambda s: True)
+        assert res.timed_out  # stop_when never consulted while node 1 sleeps
+
+
+class TestValidation:
+    def test_node_count_mismatch(self):
+        dep = path_deployment(3)
+        with pytest.raises(ValueError, match="nodes"):
+            make_sim(dep, [ListenerNode(0)])
+
+    def test_vid_mismatch(self):
+        dep = path_deployment(2)
+        with pytest.raises(ValueError, match="vid"):
+            make_sim(dep, [ListenerNode(1), ListenerNode(0)])
+
+    def test_negative_wake_slot(self):
+        dep = path_deployment(2)
+        with pytest.raises(ValueError, match="non-negative"):
+            make_sim(dep, [ListenerNode(0), ListenerNode(1)], wake=[-1, 0])
+
+    def test_message_size_enforcement(self):
+        dep = path_deployment(2)
+        nodes = [BeaconNode(0, p=1.0), ListenerNode(1)]
+        sim = make_sim(dep, nodes, max_message_bits=1)
+        with pytest.raises(RuntimeError, match="bit"):
+            sim.step()
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        dep = ring_deployment(10)
+
+        def run(seed):
+            nodes = [BeaconNode(i, p=0.3) for i in range(10)]
+            sim = make_sim(dep, nodes, seed=seed)
+            for _ in range(200):
+                sim.step()
+            return sim.trace.tx_count.copy(), sim.trace.rx_count.copy()
+
+        t1, r1 = run(7)
+        t2, r2 = run(7)
+        assert np.array_equal(t1, t2) and np.array_equal(r1, r2)
+
+    def test_different_seeds_differ(self):
+        dep = ring_deployment(10)
+
+        def run(seed):
+            nodes = [BeaconNode(i, p=0.3) for i in range(10)]
+            sim = make_sim(dep, nodes, seed=seed)
+            for _ in range(200):
+                sim.step()
+            return sim.trace.tx_count.copy()
+
+        assert not np.array_equal(run(1), run(2))

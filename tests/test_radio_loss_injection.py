@@ -1,0 +1,89 @@
+"""Tests for receiver-side loss injection (failure injection substrate)."""
+
+import numpy as np
+import pytest
+
+from repro import run_coloring
+from repro.graphs import path_deployment, random_udg
+from repro.radio import RadioSimulator
+
+from .conftest import BeaconNode, ListenerNode
+
+
+def make_sim(dep, nodes, loss, seed=0):
+    return RadioSimulator(
+        dep,
+        nodes,
+        np.zeros(dep.n, dtype=np.int64),
+        np.random.default_rng(seed),
+        loss_prob=loss,
+    )
+
+
+class TestEngineLoss:
+    def test_loss_one_rejected(self):
+        dep = path_deployment(2)
+        with pytest.raises(ValueError, match="loss_prob"):
+            make_sim(dep, [ListenerNode(0), ListenerNode(1)], loss=1.0)
+
+    def test_negative_rejected(self):
+        dep = path_deployment(2)
+        with pytest.raises(ValueError):
+            make_sim(dep, [ListenerNode(0), ListenerNode(1)], loss=-0.1)
+
+    def test_zero_loss_delivers_everything(self):
+        dep = path_deployment(2)
+        nodes = [BeaconNode(0, p=1.0), ListenerNode(1)]
+        sim = make_sim(dep, nodes, loss=0.0)
+        for _ in range(100):
+            sim.step()
+        assert len(nodes[1].received) == 100
+
+    def test_half_loss_drops_about_half(self):
+        dep = path_deployment(2)
+        nodes = [BeaconNode(0, p=1.0), ListenerNode(1)]
+        sim = make_sim(dep, nodes, loss=0.5, seed=3)
+        for _ in range(1000):
+            sim.step()
+        got = len(nodes[1].received)
+        assert 400 < got < 600  # binomial(1000, .5), 6+ sigma slack
+
+    def test_losses_are_silent(self):
+        # A dropped reception records neither rx nor collision.
+        dep = path_deployment(2)
+        nodes = [BeaconNode(0, p=1.0), ListenerNode(1)]
+        sim = make_sim(dep, nodes, loss=0.5, seed=3)
+        for _ in range(200):
+            sim.step()
+        tr = sim.trace
+        assert tr.rx_count[1] == len(nodes[1].received)
+        assert tr.collision_count[1] == 0
+
+    def test_loss_reproducible(self):
+        def run(seed):
+            dep = path_deployment(2)
+            nodes = [BeaconNode(0, p=1.0), ListenerNode(1)]
+            sim = make_sim(dep, nodes, loss=0.3, seed=seed)
+            for _ in range(300):
+                sim.step()
+            return len(nodes[1].received)
+
+        assert run(7) == run(7)
+
+
+class TestProtocolUnderLoss:
+    def test_moderate_loss_still_correct(self):
+        dep = random_udg(35, expected_degree=8, seed=6, connected=True)
+        res = run_coloring(dep, seed=61, loss_prob=0.2)
+        assert res.completed and res.proper
+
+    def test_loss_costs_time(self):
+        dep = random_udg(35, expected_degree=8, seed=6, connected=True)
+        clean = run_coloring(dep, seed=62)
+        lossy = run_coloring(dep, seed=62, loss_prob=0.4)
+        assert lossy.completed
+        # Fewer receptions per slot -> later (or equal) completion, with
+        # slack for randomness.
+        assert lossy.trace.rx_count.sum() / max(lossy.slots, 1) < (
+            clean.trace.rx_count.sum() / max(clean.slots, 1)
+        )

@@ -1,0 +1,63 @@
+"""Tests for message types and the O(log n) size accounting."""
+
+import math
+
+import pytest
+
+from repro.radio import (
+    AssignMessage,
+    ColorMessage,
+    CounterMessage,
+    RequestMessage,
+    message_bits,
+)
+
+
+class TestMessageTypes:
+    def test_assign_is_a_color_message(self):
+        m = AssignMessage(sender=3, color=0, target=7, tc=2)
+        assert isinstance(m, ColorMessage)
+        assert m.color == 0
+
+    def test_assign_rejects_nonzero_color(self):
+        with pytest.raises(ValueError, match="leaders"):
+            AssignMessage(sender=3, color=1, target=7, tc=2)
+
+    def test_frozen(self):
+        m = CounterMessage(sender=1, color=2, counter=5)
+        with pytest.raises(Exception):
+            m.counter = 6
+
+    def test_equality_by_value(self):
+        a = RequestMessage(sender=1, leader=2)
+        b = RequestMessage(sender=1, leader=2)
+        assert a == b
+
+
+class TestMessageBits:
+    @pytest.mark.parametrize("n", [2, 10, 100, 10_000])
+    def test_all_types_are_o_log_n(self, n):
+        # Values bounded as the algorithm produces them: counters up to
+        # ~sigma*Delta*log n, colors up to kappa2*Delta, both poly(n).
+        msgs = [
+            CounterMessage(sender=n - 1, color=n, counter=10 * n),
+            ColorMessage(sender=n - 1, color=n),
+            AssignMessage(sender=n - 1, color=0, target=n - 1, tc=n),
+            RequestMessage(sender=n - 1, leader=n - 1),
+        ]
+        bound = 16 * math.log2(max(n, 2)) + 32
+        for m in msgs:
+            assert message_bits(m, n) <= bound
+
+    def test_bits_grow_with_counter_magnitude(self):
+        small = CounterMessage(sender=0, color=0, counter=1)
+        big = CounterMessage(sender=0, color=0, counter=1 << 20)
+        assert message_bits(big, 100) > message_bits(small, 100)
+
+    def test_negative_counter_costs_like_positive(self):
+        neg = CounterMessage(sender=0, color=0, counter=-500)
+        pos = CounterMessage(sender=0, color=0, counter=500)
+        assert message_bits(neg, 100) == message_bits(pos, 100)
+
+    def test_tiny_network_floor(self):
+        assert message_bits(ColorMessage(sender=0, color=0), 1) > 0

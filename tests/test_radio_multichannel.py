@@ -1,0 +1,64 @@
+"""Tests for the multi-channel beacon Monte Carlo."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import path_deployment, random_udg, star_deployment
+from repro.radio.batch import multichannel_reception_rates, simulate_beacons
+
+
+class TestMultichannel:
+    def test_one_channel_matches_single_channel_simulator(self):
+        # k=1 must agree (statistically) with simulate_beacons.
+        dep = random_udg(30, expected_degree=8, seed=1)
+        probs = np.full(dep.n, 0.2)
+        multi = multichannel_reception_rates(dep, probs, 20_000, 1, seed=3)
+        single = simulate_beacons(dep, probs, 20_000, seed=4)
+        rx_single = single.rx_count.sum() / (20_000 * dep.n)
+        assert multi["rx"] == pytest.approx(rx_single, rel=0.05)
+
+    def test_isolated_pair_theory(self):
+        # P[rx] with k channels: p(1-p) * ... sender on any channel, but
+        # listener must share it: p(1-p)/k * k? Listener hears sender iff
+        # sender transmits, listener listens, and channels match (1/k):
+        # rate = p(1-p)/k per node... times 1 sender.
+        dep = path_deployment(2)
+        p, k = 0.4, 4
+        out = multichannel_reception_rates(dep, np.array([p, p]), 60_000, k, seed=5)
+        assert out["rx"] == pytest.approx(p * (1 - p) / k, rel=0.1)
+
+    def test_collisions_fall_with_channels(self):
+        dep = star_deployment(8)
+        probs = np.full(dep.n, 0.5)
+        c1 = multichannel_reception_rates(dep, probs, 8_000, 1, seed=6)
+        c4 = multichannel_reception_rates(dep, probs, 8_000, 4, seed=6)
+        assert c4["collision"] < c1["collision"]
+
+    def test_saturated_load_benefits_from_two_channels(self):
+        # Every receiver must be congested for the collision relief to
+        # dominate the 1/k channel-match loss: use a clique.  (On a star
+        # the six degree-1 leaves dominate the mean and channels only
+        # dilute their single sender.)
+        from repro.graphs import clique_deployment
+
+        dep = clique_deployment(7)
+        probs = np.full(dep.n, 0.5)
+        r1 = multichannel_reception_rates(dep, probs, 12_000, 1, seed=7)
+        r2 = multichannel_reception_rates(dep, probs, 12_000, 2, seed=7)
+        assert r2["rx"] > r1["rx"]
+
+    def test_validation(self):
+        dep = path_deployment(2)
+        with pytest.raises(ValueError):
+            multichannel_reception_rates(dep, np.array([0.1, 0.1]), 10, 0)
+        with pytest.raises(ValueError):
+            multichannel_reception_rates(dep, np.array([0.1]), 10, 2)
+        with pytest.raises(ValueError):
+            multichannel_reception_rates(dep, np.array([0.1, 0.1]), 0, 2)
+
+    def test_reproducible(self):
+        dep = random_udg(15, expected_degree=5, seed=2)
+        probs = np.full(dep.n, 0.3)
+        a = multichannel_reception_rates(dep, probs, 1000, 3, seed=9)
+        b = multichannel_reception_rates(dep, probs, 1000, 3, seed=9)
+        assert a == b

@@ -1,0 +1,179 @@
+"""Tests for the non-aligned-slots engine."""
+
+import numpy as np
+import pytest
+
+from repro import run_coloring
+from repro.graphs import from_graph, path_deployment, random_udg, star_deployment
+from repro.radio.unaligned import UnalignedRadioSimulator
+
+from .conftest import BeaconNode, ListenerNode
+
+
+def make_sim(dep, nodes, offsets, wake=None, seed=0):
+    wake = np.zeros(dep.n, dtype=np.int64) if wake is None else np.asarray(wake)
+    return UnalignedRadioSimulator(
+        dep,
+        nodes,
+        wake,
+        np.random.default_rng(seed),
+        offsets=None if offsets is None else np.asarray(offsets, dtype=float),
+    )
+
+
+def run_slots(sim, k):
+    for _ in range(k):
+        sim.step()
+
+
+class TestValidation:
+    def test_offsets_shape(self):
+        dep = path_deployment(2)
+        with pytest.raises(ValueError, match="offsets"):
+            make_sim(dep, [ListenerNode(0), ListenerNode(1)], offsets=[0.1])
+
+    def test_offsets_range(self):
+        dep = path_deployment(2)
+        with pytest.raises(ValueError, match="0, 1"):
+            make_sim(dep, [ListenerNode(0), ListenerNode(1)], offsets=[0.0, 1.0])
+
+    def test_random_offsets_default(self):
+        dep = path_deployment(3)
+        sim = make_sim(dep, [ListenerNode(i) for i in range(3)], offsets=None)
+        assert ((sim.offsets >= 0) & (sim.offsets < 1)).all()
+
+
+class TestZeroOffsetsMatchAlignedSemantics:
+    """With all offsets equal the unaligned engine must reproduce the
+    aligned reception rule exactly (deliveries lag one step but carry
+    the correct listener slot index)."""
+
+    def test_single_transmitter_delivered_with_own_slot_index(self):
+        dep = path_deployment(2)
+        nodes = [BeaconNode(0, p=1.0), ListenerNode(1)]
+        sim = make_sim(dep, nodes, offsets=[0.0, 0.0])
+        run_slots(sim, 3)  # slots 0 and 1 finalized
+        slots = [s for s, _ in nodes[1].received]
+        assert slots == [0, 1]
+
+    def test_collision_semantics(self):
+        dep = star_deployment(2)
+        nodes = [ListenerNode(0), BeaconNode(1, 1.0), BeaconNode(2, 1.0)]
+        sim = make_sim(dep, nodes, offsets=[0.0, 0.0, 0.0])
+        run_slots(sim, 10)
+        assert nodes[0].received == []
+        assert sim.trace.collision_count[0] == 9  # slots 0..8 finalized
+
+    def test_transmitter_cannot_receive(self):
+        dep = path_deployment(2)
+        nodes = [BeaconNode(0, 1.0), BeaconNode(1, 1.0)]
+        sim = make_sim(dep, nodes, offsets=[0.0, 0.0])
+        run_slots(sim, 5)
+        assert nodes[0].received == [] and nodes[1].received == []
+
+
+class TestOffsetOverlap:
+    """A shifted transmission blocks two neighbor slots — the [29] fact."""
+
+    def test_one_transmission_decoded_once_despite_two_overlaps(self):
+        # 0 transmits only in its slot 5; listener 1 has a smaller offset,
+        # so the transmission overlaps 1's slots 5 and 6 — but a single
+        # transmission is decoded at most once (in the first clean slot).
+        class OneShot(BeaconNode):
+            def step(self, slot, rng):
+                from repro.radio import ColorMessage
+
+                if slot == 5:
+                    return ColorMessage(sender=self.vid, color=0)
+                return None
+
+        dep = path_deployment(2)
+        nodes = [OneShot(0), ListenerNode(1)]
+        sim = make_sim(dep, nodes, offsets=[0.7, 0.2])
+        run_slots(sim, 10)
+        slots = [s for s, _ in nodes[1].received]
+        assert slots == [5]
+
+    def test_blocked_first_slot_decodes_in_second(self):
+        # Leaf 1's transmission overlaps the hub's slots 5 and 6; a
+        # same-phase leaf 2 transmission collides with the hub's slot 5
+        # only, so leaf 1's message is decoded in slot 6 instead.
+        from repro.radio import ColorMessage
+
+        class At(BeaconNode):
+            def __init__(self, vid, when):
+                super().__init__(vid)
+                self.when = when
+
+            def step(self, slot, rng):
+                if slot == self.when:
+                    return ColorMessage(sender=self.vid, color=0)
+                return None
+
+        dep = star_deployment(2)
+        # hub offset .2; leaf1 offset .7 tx slot 5 -> [5.7, 6.7) overlaps
+        # hub slots 5 [5.2, 6.2) and 6 [6.2, 7.2); leaf2 offset .2 tx
+        # slot 5 -> [5.2, 6.2) overlaps hub slot 5 only.
+        nodes = [ListenerNode(0), At(1, 5), At(2, 5)]
+        sim = make_sim(dep, nodes, offsets=[0.2, 0.7, 0.2])
+        run_slots(sim, 10)
+        assert [(s, m.sender) for s, m in nodes[0].received] == [(6, 1)]
+        assert sim.trace.collision_count[0] == 1
+
+    def test_shifted_collision_across_slot_boundary(self):
+        # Hub (offset .4) listens; leaf 1 (offset .8) transmits in its
+        # slot 5 -> [5.8, 6.8); leaf 2 (offset .1) transmits in its slot
+        # 7 -> [7.1, 8.1).  Hub slots: 5 = [5.4, 6.4) overlaps only
+        # leaf 1 -> delivered; 6 = [6.4, 7.4) overlaps BOTH (leaf 1's
+        # tail and leaf 2's head) -> collision; 7 = [7.4, 8.4) overlaps
+        # only leaf 2 -> delivered.
+        from repro.radio import ColorMessage
+
+        class At(BeaconNode):
+            def __init__(self, vid, when):
+                super().__init__(vid)
+                self.when = when
+
+            def step(self, slot, rng):
+                if slot == self.when:
+                    return ColorMessage(sender=self.vid, color=0)
+                return None
+
+        dep = star_deployment(2)
+        nodes = [ListenerNode(0), At(1, 5), At(2, 7)]
+        sim = make_sim(dep, nodes, offsets=[0.4, 0.8, 0.1])
+        run_slots(sim, 12)
+        assert [s for s, _ in nodes[0].received] == [5, 7]
+        assert sim.trace.collision_count[0] == 1
+
+    def test_sleeping_listener_receives_nothing(self):
+        dep = path_deployment(2)
+        nodes = [BeaconNode(0, 1.0), ListenerNode(1)]
+        sim = make_sim(dep, nodes, offsets=[0.3, 0.6], wake=[0, 50])
+        run_slots(sim, 20)
+        assert nodes[1].received == []
+
+
+class TestProtocolOnUnalignedEngine:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_full_protocol_still_correct(self, seed):
+        dep = random_udg(35, expected_degree=8, seed=seed, connected=True)
+        res = run_coloring(dep, seed=seed + 700, unaligned=True)
+        assert res.completed and res.proper
+
+    def test_reproducible(self):
+        dep = random_udg(25, expected_degree=7, seed=4, connected=True)
+        a = run_coloring(dep, seed=41, unaligned=True)
+        b = run_coloring(dep, seed=41, unaligned=True)
+        assert np.array_equal(a.colors, b.colors) and a.slots == b.slots
+
+    def test_explicit_offsets(self):
+        dep = random_udg(20, expected_degree=6, seed=5, connected=True)
+        offsets = np.linspace(0, 0.95, dep.n)
+        res = run_coloring(dep, seed=51, unaligned=True, offsets=offsets)
+        assert res.completed and res.proper
+
+    def test_loss_injection_rejected_on_unaligned(self):
+        dep = path_deployment(2)
+        with pytest.raises(ValueError, match="aligned engine"):
+            run_coloring(dep, seed=1, unaligned=True, loss_prob=0.1)

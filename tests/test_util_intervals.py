@@ -1,0 +1,72 @@
+"""Unit + property tests for the chi(P_v) interval arithmetic."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import IntegerIntervalSet, max_value_outside
+
+intervals_strategy = st.lists(
+    st.tuples(st.integers(-200, 200), st.integers(-200, 200)).map(
+        lambda p: (min(p), max(p))
+    ),
+    max_size=12,
+)
+
+
+class TestIntegerIntervalSet:
+    def test_merges_overlapping(self):
+        s = IntegerIntervalSet([(0, 5), (3, 9)])
+        assert s.intervals == [(0, 9)]
+
+    def test_merges_adjacent_integers(self):
+        # [0,2] and [3,5] cover 0..5 contiguously over the integers.
+        s = IntegerIntervalSet([(0, 2), (3, 5)])
+        assert s.intervals == [(0, 5)]
+
+    def test_keeps_gaps(self):
+        s = IntegerIntervalSet([(0, 2), (4, 5)])
+        assert s.intervals == [(0, 2), (4, 5)]
+        assert not s.contains(3)
+
+    def test_drops_empty_input_intervals(self):
+        assert IntegerIntervalSet([(5, 4)]).intervals == []
+
+    @given(intervals_strategy, st.integers(-250, 250))
+    def test_contains_matches_naive(self, ivals, x):
+        s = IntegerIntervalSet(ivals)
+        naive = any(lo <= x <= hi for lo, hi in ivals)
+        assert s.contains(x) == naive
+
+
+class TestMaxValueOutside:
+    def test_empty_returns_upper(self):
+        assert max_value_outside([]) == 0
+        assert max_value_outside([], upper=-7) == -7
+
+    def test_single_interval_covering_zero(self):
+        assert max_value_outside([(-3, 2)]) == -4
+
+    def test_interval_not_covering_zero(self):
+        assert max_value_outside([(-10, -5)]) == 0
+
+    def test_stacked_intervals(self):
+        assert max_value_outside([(-10, -5), (-4, 1)]) == -11
+
+    @given(intervals_strategy, st.integers(-50, 50))
+    def test_matches_naive_scan(self, ivals, upper):
+        got = max_value_outside(ivals, upper=upper)
+        # Naive: scan down from upper.
+        x = upper
+        while any(lo <= x <= hi for lo, hi in ivals):
+            x -= 1
+        assert got == x
+
+    @given(intervals_strategy)
+    def test_result_is_nonpositive_and_uncovered(self, ivals):
+        x = max_value_outside(ivals)
+        assert x <= 0
+        assert not any(lo <= x <= hi for lo, hi in ivals)
+        # Maximality: every value in (x, 0] is covered.
+        s = IntegerIntervalSet(ivals)
+        for y in range(x + 1, 1):
+            assert s.contains(y)

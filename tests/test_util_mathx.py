@@ -1,0 +1,72 @@
+"""Unit tests for repro._util.mathx."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import ceil_log, fact1_bounds, fact1_holds, log2n
+
+
+class TestLog2n:
+    def test_floor_at_one_for_tiny_n(self):
+        assert log2n(0) == 1.0
+        assert log2n(1) == 1.0
+        assert log2n(2) == 1.0  # ln 2 < 1, floored
+
+    def test_matches_natural_log_for_large_n(self):
+        assert log2n(100) == pytest.approx(math.log(100))
+        assert log2n(10_000) == pytest.approx(math.log(10_000))
+
+    def test_monotone(self):
+        vals = [log2n(n) for n in range(1, 200)]
+        assert vals == sorted(vals)
+
+
+class TestCeilLog:
+    def test_never_below_one(self):
+        assert ceil_log(0.0, 100) == 1
+        assert ceil_log(0.001, 2) == 1
+
+    def test_basic_values(self):
+        # ceil(2 * ln 100) = ceil(9.21) = 10
+        assert ceil_log(2.0, 100) == 10
+
+    def test_scales_linearly_in_constant(self):
+        n = 1000
+        assert ceil_log(10.0, n) >= 2 * ceil_log(5.0, n) - 1
+
+    @given(c=st.floats(0.1, 50), n=st.integers(2, 10**6))
+    def test_is_integer_ceiling(self, c, n):
+        v = ceil_log(c, n)
+        assert isinstance(v, int)
+        assert v >= c * log2n(n) - 1e-9
+        assert v < c * log2n(n) + 1 + 1e-9 or v == 1
+
+
+class TestFact1:
+    """Fact 1: e^t (1 - t^2/n) <= (1 + t/n)^n <= e^t."""
+
+    @given(
+        t=st.floats(-50, 50, allow_nan=False),
+        n=st.integers(1, 10**5),
+    )
+    def test_fact1_holds_on_valid_domain(self, t, n):
+        if abs(t) > n:
+            with pytest.raises(ValueError):
+                fact1_bounds(t, n)
+        else:
+            assert fact1_holds(t, n)
+
+    def test_fact1_example_from_lemma2(self):
+        # The shape used in Lemma 2: (1 + t/n)^n with t=-1, n=k2*Delta
+        # bounds (1 - 1/(k2*Delta))^(k2*Delta) between e^-1(1-1/n) and e^-1.
+        k2, d = 18, 30
+        n = k2 * d
+        lo, hi = fact1_bounds(-1.0, n)
+        assert lo <= (1 - 1.0 / n) ** n <= hi
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            fact1_bounds(0.5, 0.5)

@@ -1,0 +1,42 @@
+"""Tests for seeded RNG management."""
+
+import numpy as np
+
+from repro._util import RngStream, spawn_generator
+
+
+class TestSpawnGenerator:
+    def test_same_seed_same_stream(self):
+        a = spawn_generator(123)
+        b = spawn_generator(123)
+        assert np.array_equal(a.integers(0, 1 << 20, size=16), b.integers(0, 1 << 20, size=16))
+
+    def test_different_keys_differ(self):
+        a = spawn_generator(123, 0).integers(0, 1 << 30, size=8)
+        b = spawn_generator(123, 1).integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_none_seed_gives_generator(self):
+        g = spawn_generator(None)
+        assert isinstance(g, np.random.Generator)
+
+
+class TestRngStream:
+    def test_children_are_reproducible(self):
+        s1, s2 = RngStream(7), RngStream(7)
+        for _ in range(3):
+            a = s1.child().integers(0, 1 << 30, size=4)
+            b = s2.child().integers(0, 1 << 30, size=4)
+            assert np.array_equal(a, b)
+
+    def test_successive_children_differ(self):
+        s = RngStream(7)
+        a = s.child().integers(0, 1 << 30, size=8)
+        b = s.child().integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_child_seed_in_range(self):
+        s = RngStream(7)
+        for _ in range(5):
+            seed = s.child_seed()
+            assert 0 <= seed < 2**63

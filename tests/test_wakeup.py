@@ -1,0 +1,78 @@
+"""Tests for wake-up schedules."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import random_udg, ring_deployment
+from repro.wakeup import (
+    ALL_SCHEDULES,
+    batched,
+    bfs_wave,
+    sequential,
+    staggered_neighbors,
+    synchronous,
+    uniform_random,
+)
+
+
+class TestBasicSchedules:
+    def test_synchronous(self):
+        assert synchronous(5).tolist() == [0] * 5
+
+    def test_uniform_random_in_window(self):
+        s = uniform_random(100, window=40, seed=1)
+        assert s.min() >= 0 and s.max() < 40
+
+    def test_uniform_random_rejects_zero_window(self):
+        with pytest.raises(ValueError):
+            uniform_random(5, window=0)
+
+    def test_sequential_spacing(self):
+        s = sequential(6, gap=10, seed=2)
+        assert sorted(s.tolist()) == [0, 10, 20, 30, 40, 50]
+
+    def test_sequential_permutes(self):
+        a = sequential(50, gap=1, seed=3)
+        b = sequential(50, gap=1, seed=4)
+        assert not np.array_equal(a, b)
+
+    def test_batched_groups(self):
+        s = batched(10, batch_size=5, gap=100, seed=0)
+        vals, counts = np.unique(s, return_counts=True)
+        assert vals.tolist() == [0, 100]
+        assert counts.tolist() == [5, 5]
+
+
+class TestGraphAwareSchedules:
+    def test_bfs_wave_neighbors_close(self):
+        dep = ring_deployment(12)
+        s = bfs_wave(dep, gap=10, seed=5)
+        # BFS layers on a cycle: adjacent nodes differ by at most one layer.
+        for u, v in dep.graph.edges:
+            assert abs(s[u] - s[v]) <= 10
+
+    def test_bfs_wave_covers_disconnected(self):
+        import networkx as nx
+
+        from repro.graphs import from_graph
+
+        g = nx.union(nx.path_graph(3), nx.path_graph(3), rename=("a", "b"))
+        dep = from_graph(g)
+        s = bfs_wave(dep, gap=5, seed=1)
+        assert (s >= 0).all()
+
+    def test_staggered_neighbors_never_together(self):
+        dep = random_udg(60, expected_degree=8, seed=6)
+        s = staggered_neighbors(dep, gap=100)
+        for u, v in dep.graph.edges:
+            assert s[u] != s[v]
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(ALL_SCHEDULES))
+    def test_all_factories_produce_valid_arrays(self, name):
+        dep = random_udg(30, expected_degree=6, seed=9)
+        s = ALL_SCHEDULES[name](dep, seed=3)
+        assert s.shape == (30,)
+        assert s.dtype == np.int64
+        assert (s >= 0).all()
