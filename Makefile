@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction harness.
 
-.PHONY: install test bench full-bench report tour clean
+.PHONY: install test bench bench-smoke full-bench report tour clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,14 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Fast benchmark sanity pass: the engine microbenchmarks (including the
+# vectorized-vs-classic speedup gate) plus one experiment bench at tiny
+# scale.  Meant for pre-merge smoke, not for archived numbers; works
+# from a clean checkout (no `make install` needed).
+bench-smoke:
+	PYTHONPATH=src pytest benchmarks/bench_engine_microbench.py \
+	  benchmarks/bench_e1_correctness.py --benchmark-only -q
 
 # Full-scale experiment sweeps (slow; writes benchmarks/results/full/).
 full-bench:

@@ -7,9 +7,11 @@ transmission skips) are caught.  The HPC guides' rule: no optimization
 without measurement — this is the measurement.
 """
 
+import time
+
 import numpy as np
 
-from repro.core import Parameters, run_coloring
+from repro.core import BernoulliColoringNode, Parameters, run_coloring
 from repro.core.protocol import build_simulator
 from repro.graphs import random_udg
 
@@ -27,6 +29,37 @@ def test_engine_slot_throughput(benchmark):
 
     slots = benchmark(run_slots)
     assert slots == 2000
+
+
+def test_vectorized_engine_speedup(benchmark):
+    """The batched-draw fast path must beat the per-node step path by
+    >= 2x slots/sec on a 300-node UDG (the engine-vectorization
+    acceptance bar; the usual margin is ~4-5x)."""
+    dep = random_udg(300, expected_degree=14, seed=7, connected=True)
+    params = Parameters.for_deployment(dep)
+    n_slots = 1500
+
+    def run_slots(node_cls):
+        sim, _ = build_simulator(dep, params, seed=2, node_cls=node_cls)
+        t0 = time.perf_counter()
+        for _ in range(n_slots):
+            sim.step()
+        return sim, n_slots / (time.perf_counter() - t0)
+
+    def measure():
+        from repro.core.node import ColoringNode
+
+        _, classic_rate = run_slots(ColoringNode)
+        sim, fast_rate = run_slots(BernoulliColoringNode)
+        assert sim.vectorized
+        return classic_rate, fast_rate
+
+    classic_rate, fast_rate = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(
+        f"\nclassic {classic_rate:,.0f} slots/s; "
+        f"vectorized {fast_rate:,.0f} slots/s ({fast_rate / classic_rate:.1f}x)"
+    )
+    assert fast_rate >= 2.0 * classic_rate
 
 
 def test_full_coloring_run(benchmark):

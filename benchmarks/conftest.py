@@ -19,6 +19,26 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sweep-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run experiment seed sweeps on N worker processes "
+        "(0 = all cores); tables are identical at any worker count",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _sweep_workers(request, monkeypatch):
+    """Export ``--sweep-workers`` as REPRO_SWEEP_WORKERS, the default
+    worker count every ``sweep_seeds`` call picks up."""
+    workers = request.config.getoption("--sweep-workers")
+    if workers is not None:
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", str(workers))
+
+
 @pytest.fixture
 def record_table(benchmark):
     """Benchmark an experiment's ``run`` callable once (the experiments are

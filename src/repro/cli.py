@@ -43,6 +43,14 @@ EXPERIMENTS = {
     "e17": ("e17_channels", "(ext.) what the single-channel assumption costs"),
 }
 
+def _nonneg_int(text: str) -> int:
+    """argparse type for --workers: a non-negative int (0 = all cores)."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 means all cores)")
+    return value
+
+
 _SCHEDULE_CHOICES = (
     "synchronous",
     "uniform_random",
@@ -80,6 +88,16 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--full", action="store_true", help="full (slow) configuration")
     exp.add_argument("--seeds", type=int, default=None, help="seeds per configuration")
     exp.add_argument("--csv", metavar="PATH", default=None, help="also write CSV here")
+    exp.add_argument(
+        "--workers", type=_nonneg_int, default=None,
+        help="seed-sweep worker processes (0 = all cores; default: "
+        "REPRO_SWEEP_WORKERS or serial); tables are identical at any "
+        "worker count",
+    )
+    exp.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="write per-run wall-time/slot/tx telemetry JSON here",
+    )
 
     kappa = sub.add_parser("kappa", help="measure kappa_1/kappa_2 of a deployment")
     kappa.add_argument("--n", type=int, default=100)
@@ -111,17 +129,30 @@ def _cmd_color(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
+    from repro.experiments.parallel import collect_telemetry
+
     mod_name, _claim = EXPERIMENTS[args.id]
     mod = importlib.import_module(f"repro.experiments.{mod_name}")
     kwargs = {"quick": not args.full}
     if args.seeds is not None:
         kwargs["seeds"] = args.seeds
-    table = mod.run(**kwargs)
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
+    with collect_telemetry() as telemetry:
+        table = mod.run(**kwargs)
     print(table.render())
+    if telemetry:
+        wall = sum(t.wall_s for t in telemetry)
+        print(f"# {len(telemetry)} runs, {wall:.2f}s total run wall time")
     if args.csv:
         with open(args.csv, "w") as fh:
             fh.write(table.to_csv())
         print(f"(csv written to {args.csv})")
+    if args.telemetry:
+        from repro.experiments.io import save_sweep_telemetry
+
+        save_sweep_telemetry(telemetry, args.telemetry)
+        print(f"(telemetry written to {args.telemetry})")
     return 0
 
 

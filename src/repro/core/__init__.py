@@ -12,9 +12,11 @@ from repro.core.node import UNDECIDED, ColoringNode
 from repro.core.params import Parameters, paper_time_bound, suggested_max_slots
 from repro.core.protocol import ColoringResult, build_simulator, run_coloring
 from repro.core.states import NodeState, Phase
+from repro.core.vector_node import BernoulliColoringNode
 
 __all__ = [
     "UNDECIDED",
+    "BernoulliColoringNode",
     "ColoringNode",
     "ColoringResult",
     "MisResult",

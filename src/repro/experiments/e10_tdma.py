@@ -24,8 +24,13 @@ from repro.tdma import build_schedule, simulate_frame
 __all__ = ["run"]
 
 
-def run(*, quick: bool = True, seeds: int = 3) -> Table:
-    """Run the experiment; see the module docstring for the claim."""
+def run(*, quick: bool = True, seeds: int = 3, workers: int | None = None) -> Table:
+    """Run the experiment; see the module docstring for the claim.
+
+    ``workers`` is accepted for CLI uniformity; this experiment derives
+    its tables from single runs, so it always executes in-process.
+    """
+    del workers
     table = Table("E10 TDMA schedule from the coloring (Sect. 1 application)")
     n_clusters, per_cluster, background = (3, 12, 12) if quick else (5, 20, 30)
     for seed in range(seeds):

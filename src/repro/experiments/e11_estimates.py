@@ -19,6 +19,8 @@ what happens when they are wrong; this experiment does:
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.analysis import verify_run
@@ -52,7 +54,7 @@ def _one(kind: str, factor: float, seed: int, n: int, degree: float) -> dict:
     }
 
 
-def run(*, quick: bool = True, seeds: int = 4) -> Table:
+def run(*, quick: bool = True, seeds: int = 4, workers: int | None = None) -> Table:
     """Run the experiment; see the module docstring for the claim."""
     table = Table("E11 sensitivity to estimates and channel loss (extension)")
     n, degree = (40, 8.0) if quick else (80, 12.0)
@@ -64,9 +66,10 @@ def run(*, quick: bool = True, seeds: int = 4) -> Table:
     for kind, factors in sweeps.items():
         for factor in factors:
             rows = sweep_seeds(
-                lambda s: _one(kind, factor, s, n, degree),
+                partial(_one, kind, factor, n=n, degree=degree),
                 seeds=seeds,
                 master_seed=abs(hash((kind, factor))) % 100_000,
+                workers=workers,
             )
             table.add(
                 assumption={"delta": "Delta estimate", "n": "n estimate", "loss": "channel loss"}[kind],

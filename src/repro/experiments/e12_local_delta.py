@@ -22,6 +22,8 @@ it may cost.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.analysis import verify_run
@@ -78,15 +80,22 @@ def _one(mode: str, seed: int, n_clusters: int, per_cluster: int, background: in
     }
 
 
-def run(*, quick: bool = True, seeds: int = 4) -> Table:
+def run(*, quick: bool = True, seeds: int = 4, workers: int | None = None) -> Table:
     """Run the experiment; see the module docstring for the claim."""
     table = Table("E12 local-Delta parameterization (Sect. 6 future work, oracle)")
     n_clusters, per_cluster, background = (3, 12, 12) if quick else (4, 20, 30)
     for mode in ("global", "local"):
         rows = sweep_seeds(
-            lambda s: _one(mode, s, n_clusters, per_cluster, background),
+            partial(
+                _one,
+                mode,
+                n_clusters=n_clusters,
+                per_cluster=per_cluster,
+                background=background,
+            ),
             seeds=seeds,
             master_seed=len(mode),
+            workers=workers,
         )
         table.add(
             parameterization=mode,

@@ -14,6 +14,8 @@ slots), so times stretch; correctness must not.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.analysis import verify_run
@@ -38,16 +40,17 @@ def _one(unaligned: bool, seed: int, n: int, degree: float) -> dict:
     }
 
 
-def run(*, quick: bool = True, seeds: int = 4) -> Table:
+def run(*, quick: bool = True, seeds: int = 4, workers: int | None = None) -> Table:
     """Run the experiment; see the module docstring for the claim."""
     table = Table("E13 aligned vs non-aligned slots (Sect. 2 robustness claim)")
     n, degree = (40, 8.0) if quick else (80, 12.0)
     results = {}
     for mode, unaligned in (("aligned", False), ("unaligned", True)):
         rows = sweep_seeds(
-            lambda s: _one(unaligned, s, n, degree),
+            partial(_one, unaligned, n=n, degree=degree),
             seeds=seeds,
             master_seed=17,  # same seeds for both modes: paired comparison
+            workers=workers,
         )
         results[mode] = rows
         table.add(

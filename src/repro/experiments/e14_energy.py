@@ -17,6 +17,8 @@ actually navigates.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.analysis import verify_run
@@ -44,16 +46,17 @@ def _one(scale: float, seed: int, n: int, degree: float) -> dict:
     }
 
 
-def run(*, quick: bool = True, seeds: int = 4) -> Table:
+def run(*, quick: bool = True, seeds: int = 4, workers: int | None = None) -> Table:
     """Run the experiment; see the module docstring for the claim."""
     table = Table("E14 energy-latency trade-off of initialization (extension)")
     n, degree = (40, 8.0) if quick else (80, 12.0)
     scales = [0.5, 1.0, 1.5, 2.0] if quick else [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0]
     for scale in scales:
         rows = sweep_seeds(
-            lambda s: _one(scale, s, n, degree),
+            partial(_one, scale, n=n, degree=degree),
             seeds=seeds,
             master_seed=int(scale * 1000),
+            workers=workers,
         )
         table.add(
             scale=scale,

@@ -22,6 +22,8 @@ wakes far later.  Measured:
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.analysis import verify_run
@@ -66,7 +68,7 @@ def _one(seed: int, n_base: int, n_join: int, degree: float) -> dict:
     }
 
 
-def run(*, quick: bool = True, seeds: int = 4) -> Table:
+def run(*, quick: bool = True, seeds: int = 4, workers: int | None = None) -> Table:
     """Run the experiment; see the module docstring for the claim."""
     table = Table("E15 incremental joins into a colored network (extension)")
     configs = (
@@ -76,9 +78,10 @@ def run(*, quick: bool = True, seeds: int = 4) -> Table:
     )
     for n_base, n_join, degree in configs:
         rows = sweep_seeds(
-            lambda s: _one(s, n_base, n_join, degree),
+            partial(_one, n_base=n_base, n_join=n_join, degree=degree),
             seeds=seeds,
             master_seed=n_base * 100 + n_join,
+            workers=workers,
         )
         table.add(
             base=n_base,

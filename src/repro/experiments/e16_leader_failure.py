@@ -17,6 +17,8 @@ assumption, not contradicting any claim.)
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.core import Parameters
@@ -85,16 +87,17 @@ def run_with_leader_failures(
     return stuck, killed, decided, params, nodes
 
 
-def run(*, quick: bool = True, seeds: int = 3) -> Table:
+def run(*, quick: bool = True, seeds: int = 3, workers: int | None = None) -> Table:
     """Run the experiment; see the module docstring for the claim."""
     table = Table("E16 leader-failure blast radius (extension; negative-space)")
     n, degree = (40, 8.0) if quick else (80, 12.0)
     configs = [(0.0, 1.5), (0.3, 1.5), (0.6, 1.5), (0.6, 2.5)]
     for kill_fraction, kill_at in configs:
         rows = sweep_seeds(
-            lambda s: _one(s, n, degree, kill_fraction, kill_at),
+            partial(_one, n=n, degree=degree, kill_fraction=kill_fraction, kill_at=kill_at),
             seeds=seeds,
             master_seed=int(kill_fraction * 100) + int(kill_at),
+            workers=workers,
         )
         table.add(
             kill_fraction=kill_fraction,

@@ -28,8 +28,13 @@ from repro.radio.batch import multichannel_reception_rates
 __all__ = ["run"]
 
 
-def run(*, quick: bool = True, seeds: int = 3) -> Table:
-    """Run the experiment; see the module docstring for the claim."""
+def run(*, quick: bool = True, seeds: int = 3, workers: int | None = None) -> Table:
+    """Run the experiment; see the module docstring for the claim.
+
+    ``workers`` is accepted for CLI uniformity; the channel ablation
+    iterates paired configurations in-process.
+    """
+    del workers
     table = Table("E17 channel-count ablation of the model (extension)")
     n, degree = (50, 10.0) if quick else (100, 14.0)
     slots = 6000 if quick else 20000

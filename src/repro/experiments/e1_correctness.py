@@ -9,6 +9,8 @@ measures exactly that, per topology class and wake-up pattern.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.analysis import verify_run
@@ -38,16 +40,17 @@ def _one(n: int, degree: float, schedule: str, seed: int) -> dict:
     }
 
 
-def run(*, quick: bool = True, seeds: int = 5) -> Table:
+def run(*, quick: bool = True, seeds: int = 5, workers: int | None = None) -> Table:
     """Sweep topology sizes x densities x wake-up patterns."""
     table = Table("E1 correctness/completeness (Theorem 2, Theorem 5)")
     configs = [(30, 7.0), (60, 10.0)] if quick else [(30, 7.0), (60, 10.0), (120, 14.0)]
     for n, degree in configs:
         for schedule in ("synchronous", "random"):
             rows = sweep_seeds(
-                lambda s: _one(n, degree, schedule, s),
+                partial(_one, n, degree, schedule),
                 seeds=seeds,
                 master_seed=n * 1000 + int(degree),
+                workers=workers,
             )
             table.add(
                 n=n,

@@ -10,6 +10,8 @@ absolute times stay far below the explicit Theorem 3 budget.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.analysis import theorem3_time_bound
@@ -49,14 +51,17 @@ def _one(n: int, degree: float, seed: int, *, torus: bool = False) -> dict:
     }
 
 
-def run(*, quick: bool = True, seeds: int = 3) -> Table:
+def run(*, quick: bool = True, seeds: int = 3, workers: int | None = None) -> Table:
     """Run the experiment; see the module docstring for the claim."""
     table = Table("E2 time scaling (Theorem 3 / Corollary 2)")
     degree_sweep = [6.0, 10.0, 14.0] if quick else [6.0, 10.0, 14.0, 18.0, 22.0]
     n_fixed = 60 if quick else 120
     for degree in degree_sweep:
         rows = sweep_seeds(
-            lambda s: _one(n_fixed, degree, s), seeds=seeds, master_seed=int(degree)
+            partial(_one, n_fixed, degree),
+            seeds=seeds,
+            master_seed=int(degree),
+            workers=workers,
         )
         table.add(
             sweep="Delta",
@@ -73,7 +78,10 @@ def run(*, quick: bool = True, seeds: int = 3) -> Table:
     n_sweep = [40, 80] if quick else [40, 80, 160, 320]
     for n in n_sweep:
         rows = sweep_seeds(
-            lambda s: _one(n, 10.0, s), seeds=seeds, master_seed=7000 + n
+            partial(_one, n, 10.0),
+            seeds=seeds,
+            master_seed=7000 + n,
+            workers=workers,
         )
         table.add(
             sweep="n",
@@ -91,9 +99,10 @@ def run(*, quick: bool = True, seeds: int = 3) -> Table:
     # where the realized Delta matches the target without edge effects.
     for degree in ([8.0, 14.0] if quick else [8.0, 14.0, 20.0]):
         rows = sweep_seeds(
-            lambda s: _one(n_fixed, degree, s, torus=True),
+            partial(_one, n_fixed, degree, torus=True),
             seeds=seeds,
             master_seed=9000 + int(degree),
+            workers=workers,
         )
         table.add(
             sweep="Delta(torus)",

@@ -9,6 +9,8 @@ centralized greedy reference.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.baselines import greedy_coloring
@@ -37,14 +39,17 @@ def _one(n: int, degree: float, seed: int) -> dict:
     }
 
 
-def run(*, quick: bool = True, seeds: int = 3) -> Table:
+def run(*, quick: bool = True, seeds: int = 3, workers: int | None = None) -> Table:
     """Run the experiment; see the module docstring for the claim."""
     table = Table("E3 colors vs Delta (Theorem 5 / Corollary 2)")
     degrees = [6.0, 10.0, 14.0] if quick else [6.0, 10.0, 14.0, 18.0, 24.0]
     n = 60 if quick else 150
     for degree in degrees:
         rows = sweep_seeds(
-            lambda s: _one(n, degree, s), seeds=seeds, master_seed=int(degree) * 31
+            partial(_one, n, degree),
+            seeds=seeds,
+            master_seed=int(degree) * 31,
+            workers=workers,
         )
         table.add(
             n=n,

@@ -13,6 +13,8 @@ background) and report phi/theta per region plus the bound check.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.analysis import locality_stats
@@ -43,15 +45,16 @@ def _one(n_clusters: int, per_cluster: int, background: int, seed: int) -> dict:
     }
 
 
-def run(*, quick: bool = True, seeds: int = 3) -> Table:
+def run(*, quick: bool = True, seeds: int = 3, workers: int | None = None) -> Table:
     """Run the experiment; see the module docstring for the claim."""
     table = Table("E4 locality (Theorem 4)")
     configs = [(3, 12, 10)] if quick else [(3, 12, 10), (4, 18, 20), (5, 24, 30)]
     for n_clusters, per_cluster, background in configs:
         rows = sweep_seeds(
-            lambda s: _one(n_clusters, per_cluster, background, s),
+            partial(_one, n_clusters, per_cluster, background),
             seeds=seeds,
             master_seed=n_clusters * 100 + per_cluster,
+            workers=workers,
         )
         table.add(
             clusters=n_clusters,

@@ -13,6 +13,8 @@ Paper claims measured here:
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.experiments.runner import Table, sweep_seeds
@@ -58,14 +60,23 @@ def _family(name: str, seed: int, quick: bool):
     raise ValueError(name)
 
 
-def run(*, quick: bool = True, seeds: int = 3) -> Table:
+def _one_family(name: str, quick: bool, seed: int) -> dict:
+    return _measure(_family(name, seed, quick))
+
+
+def _one_ubg(n: int, dim: int, seed: int) -> dict:
+    return _measure(doubling_grid_ubg(n, dim=dim, side=6.0, seed=seed))
+
+
+def run(*, quick: bool = True, seeds: int = 3, workers: int | None = None) -> Table:
     """Run the experiment; see the module docstring for the claim."""
     table = Table("E5 kappa_1/kappa_2 across graph models (Sect. 2, Lemmas 1 & 9)")
     for family in ("udg", "quasi_udg", "walls", "fading"):
         rows = sweep_seeds(
-            lambda s: _measure(_family(family, s, quick)),
+            partial(_one_family, family, quick),
             seeds=seeds,
             master_seed=hash(family) % 10_000,
+            workers=workers,
         )
         table.add(
             model=family,
@@ -78,9 +89,10 @@ def run(*, quick: bool = True, seeds: int = 3) -> Table:
     # Lemma 9: UBGs under l_inf with doubling dimension rho = dim.
     for dim in (1, 2) if quick else (1, 2, 3):
         rows = sweep_seeds(
-            lambda s: _measure(doubling_grid_ubg(40 if quick else 80, dim=dim, side=6.0, seed=s)),
+            partial(_one_ubg, 40 if quick else 80, dim),
             seeds=seeds,
             master_seed=900 + dim,
+            workers=workers,
         )
         table.add(
             model=f"ubg_linf_d{dim}",

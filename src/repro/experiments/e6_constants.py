@@ -14,6 +14,8 @@ and running time, plus the theoretical constants as the reference point
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.analysis import verify_run
@@ -39,16 +41,17 @@ def _one(scale: float, seed: int, n: int, degree: float) -> dict:
     }
 
 
-def run(*, quick: bool = True, seeds: int = 6) -> Table:
+def run(*, quick: bool = True, seeds: int = 6, workers: int | None = None) -> Table:
     """Run the experiment; see the module docstring for the claim."""
     table = Table("E6 constants ablation (Sect. 4 simulation remark)")
     n, degree = (40, 8.0) if quick else (80, 12.0)
     scales = [0.25, 0.5, 1.0, 1.5] if quick else [0.25, 0.5, 0.75, 1.0, 1.5, 2.0]
     for scale in scales:
         rows = sweep_seeds(
-            lambda s: _one(scale, s, n, degree),
+            partial(_one, scale, n=n, degree=degree),
             seeds=seeds,
             master_seed=int(scale * 100),
+            workers=workers,
         )
         table.add(
             regime=f"practical x{scale}",

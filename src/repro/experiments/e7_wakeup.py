@@ -9,6 +9,8 @@ compare success rates and (own-wake-relative) decision times.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.analysis import verify_run
@@ -33,15 +35,16 @@ def _one(schedule: str, seed: int, n: int, degree: float) -> dict:
     }
 
 
-def run(*, quick: bool = True, seeds: int = 4) -> Table:
+def run(*, quick: bool = True, seeds: int = 4, workers: int | None = None) -> Table:
     """Run the experiment; see the module docstring for the claim."""
     table = Table("E7 wake-up robustness (Sect. 2 asynchronous wake-up)")
     n, degree = (40, 8.0) if quick else (80, 12.0)
     for schedule in sorted(ALL_SCHEDULES):
         rows = sweep_seeds(
-            lambda s: _one(schedule, s, n, degree),
+            partial(_one, schedule, n=n, degree=degree),
             seeds=seeds,
             master_seed=abs(hash(schedule)) % 10_000,
+            workers=workers,
         )
         table.add(
             schedule=schedule,

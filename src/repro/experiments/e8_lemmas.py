@@ -126,8 +126,13 @@ def _protocol_invariants(seed: int, n: int, degree: float) -> dict:
     }
 
 
-def run(*, quick: bool = True, seeds: int = 3) -> Table:
-    """Run the experiment; see the module docstring for the claim."""
+def run(*, quick: bool = True, seeds: int = 3, workers: int | None = None) -> Table:
+    """Run the experiment; see the module docstring for the claim.
+
+    ``workers`` is accepted for CLI uniformity; this experiment's probes
+    share state across slots, so it always runs in-process.
+    """
+    del workers
     table = Table("E8 lemma validation (Lemmas 2-4, 6-8; Corollary 1)")
     n, degree = (40, 8.0) if quick else (80, 12.0)
     slots = 30_000 if quick else 120_000

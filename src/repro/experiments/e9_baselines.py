@@ -17,6 +17,8 @@ The paper's positioning claims, reproduced as measurements:
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.baselines import (
@@ -63,14 +65,17 @@ def _one(degree: float, seed: int, n: int) -> dict:
     }
 
 
-def run(*, quick: bool = True, seeds: int = 3) -> Table:
+def run(*, quick: bool = True, seeds: int = 3, workers: int | None = None) -> Table:
     """Run the experiment; see the module docstring for the claim."""
     table = Table("E9 baselines (Sect. 3 comparison)")
     degrees = [6.0, 10.0, 14.0] if quick else [6.0, 10.0, 14.0, 18.0, 24.0]
     n = 50 if quick else 100
     for degree in degrees:
         rows = sweep_seeds(
-            lambda s: _one(degree, s, n), seeds=seeds, master_seed=int(degree) * 17
+            partial(_one, degree, n=n),
+            seeds=seeds,
+            master_seed=int(degree) * 17,
+            workers=workers,
         )
         agg = lambda k: float(np.mean([r[k] for r in rows]))  # noqa: E731
         table.add(

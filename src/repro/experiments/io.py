@@ -13,9 +13,18 @@ from typing import Any
 
 import numpy as np
 
+from repro.experiments.parallel import RunTelemetry
 from repro.experiments.runner import Table
 
-__all__ = ["table_to_json", "table_from_json", "save_table", "load_table", "summary_to_jsonable"]
+__all__ = [
+    "table_to_json",
+    "table_from_json",
+    "save_table",
+    "load_table",
+    "save_sweep_telemetry",
+    "load_sweep_telemetry",
+    "summary_to_jsonable",
+]
 
 
 def summary_to_jsonable(obj: Any) -> Any:
@@ -71,3 +80,37 @@ def save_table(table: Table, path: str | pathlib.Path) -> pathlib.Path:
 def load_table(path: str | pathlib.Path) -> Table:
     """Read a table previously written by :func:`save_table`."""
     return table_from_json(pathlib.Path(path).read_text())
+
+
+def save_sweep_telemetry(
+    telemetry: list[RunTelemetry], path: str | pathlib.Path
+) -> pathlib.Path:
+    """Archive per-run sweep telemetry (seed, wall time, slot and tx
+    counters) collected via
+    :func:`repro.experiments.parallel.collect_telemetry`, with aggregate
+    wall-time totals for quick cost comparisons across worker counts."""
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    records = [
+        {"seed": t.seed, "wall_s": t.wall_s, "slots": t.slots, "tx": t.tx}
+        for t in telemetry
+    ]
+    payload = {
+        "runs": summary_to_jsonable(records),
+        "total_wall_s": float(sum(t.wall_s for t in telemetry)),
+        "total_slots": sum(t.slots for t in telemetry if t.slots is not None),
+    }
+    p.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return p
+
+
+def load_sweep_telemetry(path: str | pathlib.Path) -> list[RunTelemetry]:
+    """Inverse of :func:`save_sweep_telemetry` (aggregates are derived,
+    so only the per-run records round-trip)."""
+    data = json.loads(pathlib.Path(path).read_text())
+    return [
+        RunTelemetry(
+            seed=r["seed"], wall_s=r["wall_s"], slots=r.get("slots"), tx=r.get("tx")
+        )
+        for r in data["runs"]
+    ]

@@ -13,9 +13,9 @@ from typing import Any
 
 import numpy as np
 
-from repro._util import RngStream
+from repro.experiments.parallel import run_sweep
 
-__all__ = ["Table", "sweep_seeds"]
+__all__ = ["Table", "aggregate", "sweep_seeds"]
 
 
 @dataclass
@@ -76,7 +76,12 @@ class Table:
         return self.render()
 
     def to_csv(self) -> str:
-        """CSV rendering (header + rows; notes become # comment lines)."""
+        """CSV rendering (header + rows; notes become # comment lines).
+
+        Cells go through the same :meth:`_fmt` as :meth:`render`, so CSV
+        exports match the printed tables (``yes``/``no`` booleans, the
+        same float precision) instead of raw ``repr`` values.
+        """
         import csv
         import io
 
@@ -85,7 +90,7 @@ class Table:
         writer = csv.writer(buf)
         writer.writerow(cols)
         for row in self.rows:
-            writer.writerow([row.get(c, "") for c in cols])
+            writer.writerow([self._fmt(row.get(c, "")) for c in cols])
         for note in self.notes:
             buf.write(f"# {note}\n")
         return buf.getvalue()
@@ -96,15 +101,17 @@ def sweep_seeds(
     *,
     seeds: Iterable[int] | int,
     master_seed: int = 0,
+    workers: int | None = None,
 ) -> list[dict[str, Any]]:
     """Run ``fn(seed)`` over a seed set (an iterable, or a count expanded
-    from ``master_seed``) and return the per-run dicts."""
-    if isinstance(seeds, int):
-        stream = RngStream(master_seed)
-        seed_list = [stream.child_seed() for _ in range(seeds)]
-    else:
-        seed_list = list(seeds)
-    return [fn(s) for s in seed_list]
+    from ``master_seed``) and return the per-run dicts.
+
+    ``workers`` fans the runs out across processes (``None`` reads
+    ``REPRO_SWEEP_WORKERS``, ``0`` means all cores); results are
+    byte-identical to the serial path in every case — see
+    :mod:`repro.experiments.parallel`.
+    """
+    return run_sweep(fn, seeds=seeds, master_seed=master_seed, workers=workers)
 
 
 def aggregate(rows: list[dict[str, Any]], key: str) -> dict[str, float]:

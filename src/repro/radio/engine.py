@@ -18,6 +18,29 @@ therefore *transmitter-centric*: it touches only the neighborhoods of
 actual transmitters (sparse scatter-add into a persistent count array
 that is surgically reset afterwards) instead of scanning all ``n`` nodes
 — the "compute on what's hot" advice from the HPC guides.
+
+Two per-slot execution paths share those channel semantics:
+
+- the **compatibility path** calls :meth:`ProtocolNode.step` on every
+  awake node (any node class works — baselines, the executable-spec
+  reference, ad-hoc test nodes);
+- the **vectorized fast path** activates automatically when *every* node
+  implements the batched interface (``tx_prob`` / ``next_event_slot`` /
+  ``on_event`` / ``emit``, see :class:`~repro.radio.node.ProtocolNode`
+  docs and :class:`~repro.core.vector_node.BernoulliColoringNode`).  The
+  engine then keeps a dense send-probability vector, draws the
+  transmit-decision Bernoullis of all nodes in a single
+  ``rng.random(n)`` call per slot, and only pays Python-call cost for
+  the rare nodes that transmit, receive, or cross a scheduled state
+  event.  Adjacency is precomputed into CSR-style ``indptr``/``indices``
+  arrays at construction so the per-slot path never touches Python
+  lists of arrays.
+
+Determinism contract: the protocol stream (``rng``) is consumed in slot
+order by protocol decisions only.  Loss injection draws from a *spawned
+child generator*, never from the protocol stream, so a fixed seed yields
+the identical protocol trajectory at any ``loss_prob`` (paired
+experiments; see DESIGN.md §5).
 """
 
 from __future__ import annotations
@@ -32,7 +55,24 @@ from repro.radio.messages import Message, message_bits
 from repro.radio.node import ProtocolNode
 from repro.radio.trace import TraceRecorder
 
-__all__ = ["RadioSimulator", "SimulationResult"]
+__all__ = ["RadioSimulator", "SimulationResult", "build_csr"]
+
+#: effectively-infinite slot number for "no scheduled event"
+_FAR = 1 << 62
+
+
+def build_csr(dep: Deployment) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten a deployment's per-node neighbor arrays into CSR-style
+    ``(indptr, indices)`` arrays: node ``v``'s neighbors are
+    ``indices[indptr[v]:indptr[v+1]]``."""
+    nbrs = dep.neighbors
+    indptr = np.zeros(dep.n + 1, dtype=np.int64)
+    if dep.n:
+        indptr[1:] = np.cumsum([len(a) for a in nbrs])
+    indices = (
+        np.concatenate(nbrs) if dep.n and indptr[-1] else np.empty(0, dtype=np.int64)
+    )
+    return indptr, indices.astype(np.int64, copy=False)
 
 
 @dataclass
@@ -61,8 +101,9 @@ class RadioSimulator:
         Per-node wake slot (asynchronous wake-up pattern); ``0`` everywhere
         models synchronous start.
     rng:
-        Generator driving *all* channel and protocol randomness, in slot
-        order — a fixed seed reproduces the run exactly.
+        Generator driving *all* protocol randomness, in slot order — a
+        fixed seed reproduces the run exactly.  Loss injection uses a
+        child generator spawned from this one (see module docstring).
     trace:
         Optional recorder; a level-1 recorder is created if omitted.
     max_message_bits:
@@ -107,9 +148,16 @@ class RadioSimulator:
         if not 0.0 <= loss_prob < 1.0:
             raise ValueError(f"loss_prob must be in [0, 1), got {loss_prob}")
         self.loss_prob = loss_prob
+        # Loss injection must not perturb the protocol stream: spawning a
+        # child consumes no draws from ``rng``, so the protocol trajectory
+        # at a fixed seed is identical at any loss_prob.
+        self._loss_rng = rng.spawn(1)[0] if loss_prob > 0.0 else None
 
         self.slot = 0
         self._neighbors = deployment.neighbors
+        # CSR-style adjacency: flat arrays the hot loop can slice without
+        # touching a Python list of per-node arrays.
+        self._indptr, self._indices = build_csr(deployment)
         # Wake order: nodes grouped by wake slot for O(1) wake processing.
         order = np.argsort(self.wake_slots, kind="stable")
         self._wake_order = order
@@ -119,16 +167,30 @@ class RadioSimulator:
         self._recv_count = np.zeros(n, dtype=np.int64)
         self._incoming: list[Message | None] = [None] * n
         self._transmitting = np.zeros(n, dtype=bool)
+        # Vectorized fast path (engaged only when every node opts in):
+        # dense per-node send probabilities and next scheduled event slots,
+        # refreshed whenever a node's state can have changed.
+        self.vectorized = n > 0 and all(
+            hasattr(node, "tx_prob") for node in self.nodes
+        )
+        if self.vectorized:
+            self._p = np.zeros(n, dtype=np.float64)
+            self._evt = np.full(n, _FAR, dtype=np.int64)
 
     # ------------------------------------------------------------------
     @property
     def all_woken(self) -> bool:
         return self._next_wake >= len(self._wake_order)
 
-    def step(self) -> None:
-        """Advance the network by one slot."""
-        t = self.slot
-        # Phase 1: wake-ups.
+    def _refresh(self, v: int) -> None:
+        """Re-read node ``v``'s send probability and next event slot
+        (fast path bookkeeping after wake / event / delivery)."""
+        node = self.nodes[v]
+        self._p[v] = node.tx_prob()
+        self._evt[v] = node.next_event_slot()
+
+    def _wake_due(self, t: int) -> None:
+        """Phase 1: wake nodes whose wake slot is ``t``."""
         while self._next_wake < len(self._wake_order):
             v = int(self._wake_order[self._next_wake])
             if self.wake_slots[v] != t:
@@ -137,50 +199,89 @@ class RadioSimulator:
             self.trace.wake(t, v)
             self._awake.append(v)
             self._next_wake += 1
+            if self.vectorized:
+                self._refresh(v)
 
-        # Phase 2: protocol steps / transmit decisions.
+    def _collect_classic(self, t: int) -> list[tuple[int, Message]]:
+        """Phase 2 (compatibility path): per-node protocol steps."""
         outbox: list[tuple[int, Message]] = []
         rng = self.rng
         nodes = self.nodes
         for v in self._awake:
             msg = nodes[v].step(t, rng)
             if msg is not None:
-                if self.max_message_bits is not None:
-                    bits = message_bits(msg, self.deployment.n)
-                    if bits > self.max_message_bits:
-                        raise RuntimeError(
-                            f"slot {t}: node {v} sent a {bits}-bit message, "
-                            f"exceeding the {self.max_message_bits}-bit bound"
-                        )
-                outbox.append((v, msg))
-                self.trace.tx(t, v, msg)
+                self._record_tx(t, v, msg, outbox)
+        return outbox
 
-        # Phase 3: collision resolution (transmitter-centric).
+    def _collect_vectorized(self, t: int) -> list[tuple[int, Message]]:
+        """Phase 2 (fast path): scheduled events, then one batched
+        Bernoulli draw for all nodes' transmit decisions."""
+        nodes = self.nodes
+        evt = self._evt
+        due = np.nonzero(evt <= t)[0]
+        for v in due:
+            nodes[v].on_event(t)
+            self._refresh(int(v))
+        # One rng.random(n) per slot: asleep/passive nodes carry p = 0 and
+        # can never fire (random() < 1.0 strictly).
+        u = self.rng.random(len(nodes))
+        fire = np.nonzero(u < self._p)[0]
+        outbox: list[tuple[int, Message]] = []
+        for v in fire:
+            v = int(v)
+            msg = nodes[v].emit(t)
+            if msg is not None:
+                self._record_tx(t, v, msg, outbox)
+        return outbox
+
+    def _record_tx(
+        self, t: int, v: int, msg: Message, outbox: list[tuple[int, Message]]
+    ) -> None:
+        if self.max_message_bits is not None:
+            bits = message_bits(msg, self.deployment.n)
+            if bits > self.max_message_bits:
+                raise RuntimeError(
+                    f"slot {t}: node {v} sent a {bits}-bit message, "
+                    f"exceeding the {self.max_message_bits}-bit bound"
+                )
+        outbox.append((v, msg))
+        self.trace.tx(t, v, msg)
+
+    def _resolve_and_deliver(self, t: int, outbox: list[tuple[int, Message]]) -> None:
+        """Phases 3 + 4: transmitter-centric collision resolution, then
+        deliveries to awake, listening nodes with exactly one transmitting
+        neighbor; collisions recorded for the rest."""
         recv_count = self._recv_count
         incoming = self._incoming
         transmitting = self._transmitting
+        indptr, indices = self._indptr, self._indices
+        nodes = self.nodes
         touched: list[int] = []
         for v, msg in outbox:
             transmitting[v] = True
-            for u in self._neighbors[v]:
+            for u in indices[indptr[v] : indptr[v + 1]]:
                 if recv_count[u] == 0:
                     touched.append(u)
                     incoming[u] = msg
                 recv_count[u] += 1
 
-        # Phase 4: deliveries to awake, listening nodes with exactly one
-        # transmitting neighbor; collisions recorded for the rest.
+        vectorized = self.vectorized
         for u in touched:
             c = recv_count[u]
             if nodes[u].awake and not transmitting[u]:
                 if c == 1:
-                    if self.loss_prob and self.rng.random() < self.loss_prob:
+                    if (
+                        self._loss_rng is not None
+                        and self._loss_rng.random() < self.loss_prob
+                    ):
                         pass  # injected fading loss: silent, like a collision
                     else:
                         msg = incoming[u]
                         assert msg is not None
                         nodes[u].deliver(t, msg)
                         self.trace.rx(t, u, msg)
+                        if vectorized:
+                            self._refresh(int(u))
                 else:
                     self.trace.collision(t, u, int(c))
             recv_count[u] = 0
@@ -188,6 +289,15 @@ class RadioSimulator:
         for v, _ in outbox:
             transmitting[v] = False
 
+    def step(self) -> None:
+        """Advance the network by one slot."""
+        t = self.slot
+        self._wake_due(t)
+        if self.vectorized:
+            outbox = self._collect_vectorized(t)
+        else:
+            outbox = self._collect_classic(t)
+        self._resolve_and_deliver(t, outbox)
         self.slot = t + 1
 
     def run(
@@ -198,7 +308,17 @@ class RadioSimulator:
     ) -> SimulationResult:
         """Run until ``stop_when`` holds (checked every ``check_every``
         slots, and only after all nodes have woken) or ``max_slots`` pass.
+
+        ``check_every`` amortizes expensive stop predicates, at the cost
+        of overshooting the exact completion slot by up to ``check_every
+        - 1`` simulated slots (the reported ``slots`` then includes the
+        overshoot).  Callers with an O(1) predicate — e.g. one backed by
+        :attr:`TraceRecorder.decided <repro.radio.trace.TraceRecorder>` —
+        should pass ``check_every=1`` to stop on, and report, the exact
+        slot the condition first held.
         """
+        if check_every < 1:
+            raise ValueError(f"check_every must be >= 1, got {check_every}")
         stopped = False
         while self.slot < max_slots:
             self.step()

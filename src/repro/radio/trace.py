@@ -64,6 +64,10 @@ class TraceRecorder:
         self.wake_slot = np.full(self.n, -1, dtype=np.int64)
         self.decide_slot = np.full(self.n, -1, dtype=np.int64)
         self.decide_color = np.full(self.n, -1, dtype=np.int64)
+        #: number of nodes that have decided so far — O(1) completion
+        #: checks, so run loops can evaluate their stop condition every
+        #: slot and report the exact completion slot.
+        self.decided = 0
 
     # -- protocol-side hooks ------------------------------------------------
     def wake(self, slot: int, node: int) -> None:
@@ -79,6 +83,8 @@ class TraceRecorder:
 
     def decide(self, slot: int, node: int, color: int) -> None:
         """Record an irrevocable color decision."""
+        if self.decide_slot[node] < 0:
+            self.decided += 1
         self.decide_slot[node] = slot
         self.decide_color[node] = color
         if self.level >= 1:
