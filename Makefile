@@ -1,12 +1,20 @@
 # Convenience targets for the reproduction harness.
 
-.PHONY: install test bench bench-smoke full-bench report tour clean
+.PHONY: install test bench bench-smoke conform full-bench report tour clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# Dual-path conformance: the quick scenario matrix plus a short seeded
+# fuzz (<= 30s wall clock total).  Exits nonzero with a slot/node-level
+# divergence report if the compatibility and vectorized engine paths
+# ever disagree.  The same scenarios run inside tier-1 pytest as the
+# `conform`-marked smoke subset (`pytest -m conform`).
+conform:
+	PYTHONPATH=src python -m repro conform --quick --fuzz 64 --budget 20
 
 bench:
 	pytest benchmarks/ --benchmark-only

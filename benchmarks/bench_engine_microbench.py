@@ -111,6 +111,27 @@ def test_unaligned_engine_throughput(benchmark):
     assert slots == 2000
 
 
+def test_metrics_overhead_and_consistency(benchmark):
+    """The always-on channel metrics must stay cheap (they ride inside
+    the hot loop) and their totals must agree with the trace's per-node
+    counters — the consistency gate the conformance harness leans on."""
+    dep = random_udg(100, expected_degree=12, seed=1, connected=True)
+    params = Parameters.for_deployment(dep)
+
+    def run_slots():
+        sim, _ = build_simulator(dep, params, seed=2)
+        for _ in range(2000):
+            sim.step()
+        return sim.trace
+
+    trace = benchmark(run_slots)
+    totals = trace.channel_metrics.totals()
+    assert len(trace.channel_metrics) == 2000
+    assert totals["tx"] == int(trace.tx_count.sum())
+    assert totals["rx"] == int(trace.rx_count.sum())
+    assert totals["collisions"] == int(trace.collision_count.sum())
+
+
 def test_large_network_soak(benchmark):
     """Scale check: a 250-node protocol run, verified end to end."""
     from repro.analysis import verify_run

@@ -18,10 +18,11 @@ from repro._util.mathx import (
     fact1_holds,
     log2n,
 )
-from repro._util.rng import RngStream, spawn_generator
+from repro._util.rng import RngMeter, RngStream, spawn_generator
 
 __all__ = [
     "IntegerIntervalSet",
+    "RngMeter",
     "RngStream",
     "ceil_log",
     "fact1_bounds",

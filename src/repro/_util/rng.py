@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["RngStream", "spawn_generator"]
+__all__ = ["RngMeter", "RngStream", "spawn_generator"]
 
 
 def spawn_generator(seed: int | None, *keys: int) -> np.random.Generator:
@@ -42,6 +42,82 @@ def spawn_generator(seed: int | None, *keys: int) -> np.random.Generator:
         return np.random.default_rng()
     ss = np.random.SeedSequence(entropy=seed, spawn_key=tuple(int(k) for k in keys))
     return np.random.Generator(np.random.PCG64(ss))
+
+
+class RngMeter:
+    """A transparent draw-counting proxy around a :class:`numpy.random.Generator`.
+
+    Wrapping changes nothing about the stream — every call delegates to
+    the underlying generator — but :attr:`draws` counts the number of
+    *variates* consumed (``random(n)`` counts ``n``), so the engine can
+    expose "RNG draws consumed per stream" as a cheap per-slot channel
+    metric.  A drift in the consumption count is the earliest observable
+    symptom of an RNG-coupling regression (two code paths silently
+    consuming the stream differently), which is why the golden tests pin
+    these counters exactly.
+
+    Only the sampling methods the simulator and protocol nodes use are
+    metered explicitly; any other attribute falls through unmetered (and
+    uncounted) to the wrapped generator.
+    """
+
+    __slots__ = ("generator", "draws", "calls")
+
+    def __init__(self, generator: np.random.Generator) -> None:
+        self.generator = generator
+        self.draws = 0  #: variates consumed so far
+        self.calls = 0  #: sampling calls made so far
+
+    @staticmethod
+    def _size_of(size) -> int:
+        if size is None:
+            return 1
+        if isinstance(size, tuple):
+            out = 1
+            for s in size:
+                out *= int(s)
+            return out
+        return int(size)
+
+    def _count(self, size) -> None:
+        self.calls += 1
+        self.draws += self._size_of(size)
+
+    # -- metered sampling methods (the ones the hot paths use) ----------
+    def random(self, size=None, *args, **kwargs):
+        """Metered :meth:`numpy.random.Generator.random`."""
+        self._count(size)
+        return self.generator.random(size, *args, **kwargs)
+
+    def geometric(self, p, size=None):
+        """Metered :meth:`numpy.random.Generator.geometric`."""
+        self._count(size)
+        return self.generator.geometric(p, size)
+
+    def integers(self, low, high=None, size=None, **kwargs):
+        """Metered :meth:`numpy.random.Generator.integers`."""
+        self._count(size)
+        return self.generator.integers(low, high, size, **kwargs)
+
+    def uniform(self, low=0.0, high=1.0, size=None):
+        """Metered :meth:`numpy.random.Generator.uniform`."""
+        self._count(size)
+        return self.generator.uniform(low, high, size)
+
+    def exponential(self, scale=1.0, size=None):
+        """Metered :meth:`numpy.random.Generator.exponential`."""
+        self._count(size)
+        return self.generator.exponential(scale, size)
+
+    # -- unmetered structural methods -----------------------------------
+    def spawn(self, n_children: int) -> list[np.random.Generator]:
+        """Spawn independent children (consumes no draws; not metered)."""
+        return self.generator.spawn(n_children)
+
+    def __getattr__(self, name: str):
+        # Fallback for anything else (permutation, choice, bit_generator,
+        # ...): delegate, uncounted.
+        return getattr(self.generator, name)
 
 
 @dataclass

@@ -10,6 +10,11 @@ Commands
     its table.
 ``kappa``
     Measure kappa_1/kappa_2 of a generated deployment.
+``conform``
+    Run the dual-path conformance harness: the pinned scenario matrix,
+    optional budgeted fuzzing, or a single replayed scenario.  Exits
+    nonzero with a slot/node-level divergence report if the engine's
+    compatibility and vectorized paths ever disagree.
 ``list``
     List the available experiments with their claims.
 """
@@ -82,6 +87,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--regime", choices=("practical", "theoretical"), default="practical",
         help="parameter regime",
     )
+    color.add_argument(
+        "--metrics", action="store_true",
+        help="also print per-slot channel metrics (totals, peaks, RNG "
+        "draws per stream)",
+    )
 
     exp = sub.add_parser("experiment", help="run an experiment module")
     exp.add_argument("id", choices=sorted(EXPERIMENTS, key=lambda k: int(k[1:])))
@@ -104,6 +114,54 @@ def _build_parser() -> argparse.ArgumentParser:
     kappa.add_argument("--degree", type=float, default=12.0)
     kappa.add_argument("--seed", type=int, default=0)
 
+    conform = sub.add_parser(
+        "conform",
+        help="dual-path conformance: lockstep-compare the engine's "
+        "compatibility and vectorized paths",
+    )
+    conform.add_argument(
+        "--quick", action="store_true",
+        help="run the fast diagonal of the scenario matrix instead of "
+        "the full matrix",
+    )
+    conform.add_argument(
+        "--fuzz", type=int, default=0, metavar="N",
+        help="additionally fuzz up to N random scenarios",
+    )
+    conform.add_argument(
+        "--budget", type=float, default=20.0, metavar="SECONDS",
+        help="wall-clock budget for --fuzz (default 20s)",
+    )
+    conform.add_argument(
+        "--seed", type=int, default=0,
+        help="scenario seed (with --family) or fuzz master seed",
+    )
+    conform.add_argument(
+        "--workers", type=_nonneg_int, default=None,
+        help="matrix worker processes (0 = all cores)",
+    )
+    conform.add_argument(
+        "--inject-bug", action="store_true",
+        help="swap a deliberately broken node class into the vectorized "
+        "side (harness self-test; must exit nonzero with a slot/node "
+        "report)",
+    )
+    conform.add_argument(
+        "--metrics", action="store_true",
+        help="print per-path channel-metric totals for every scenario",
+    )
+    # Single-scenario replay — exactly the flags a divergence report
+    # prints after "replay:".
+    conform.add_argument("--family", choices=("udg", "torus", "ubg", "quasi_udg"))
+    conform.add_argument("--n", type=int, default=24)
+    conform.add_argument("--degree", type=float, default=6.0)
+    conform.add_argument(
+        "--schedule", choices=("sync", "random", "staggered"), default="sync"
+    )
+    conform.add_argument("--loss", type=float, default=0.0)
+    conform.add_argument("--param-scale", type=float, default=1.0)
+    conform.add_argument("--max-slots", type=int, default=None)
+
     sub.add_parser("list", help="list available experiments")
     return parser
 
@@ -123,9 +181,89 @@ def _cmd_color(args) -> int:
     )
     for k, v in result.summary().items():
         print(f"  {k}: {v}")
+    if args.metrics:
+        print(_render_metrics(result.trace.channel_metrics))
     report = verify_run(result)
     print(report.describe())
     return 0 if report.ok else 1
+
+
+def _render_metrics(metrics) -> str:
+    """Channel-metric summary block (totals plus busiest slots)."""
+    totals = metrics.totals()
+    lines = ["channel metrics:"]
+    for name in metrics.FIELDS:
+        lines.append(f"  {name:<15} {totals[name]}")
+    if len(metrics):
+        arrays = metrics.as_arrays()
+        tx = arrays["tx"]
+        peak = int(tx.argmax())
+        lines.append(
+            f"  busiest slot    {peak} ({int(tx[peak])} tx, "
+            f"{int(arrays['collisions'][peak])} collisions)"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_conform(args) -> int:
+    from repro.conform import (
+        SCENARIO_MATRIX,
+        OffByOneCounterNode,
+        Scenario,
+        fuzz,
+        quick_matrix,
+        run_matrix,
+        run_scenario,
+    )
+
+    broken = OffByOneCounterNode if args.inject_bug else None
+
+    if args.family is not None:
+        # Single-scenario replay (the command a divergence report prints).
+        scenario = Scenario(
+            family=args.family,
+            n=args.n,
+            degree=args.degree,
+            schedule=args.schedule,
+            loss_prob=args.loss,
+            seed=args.seed,
+            param_scale=args.param_scale,
+        )
+        reports = [
+            run_scenario(
+                scenario, max_slots=args.max_slots, vectorized_node_cls=broken
+            )
+        ]
+    else:
+        matrix = quick_matrix() if args.quick else SCENARIO_MATRIX
+        if broken is not None:
+            # The broken class must reach run_lockstep, so run serially.
+            reports = [
+                run_scenario(s, vectorized_node_cls=broken) for s in matrix
+            ]
+        else:
+            reports = run_matrix(matrix, workers=args.workers)
+
+    for report in reports:
+        print(report.describe())
+        if args.metrics:
+            print(
+                f"     classic:    {report.classic_totals}\n"
+                f"     vectorized: {report.vectorized_totals}"
+            )
+    ok = all(r.ok for r in reports)
+
+    if args.fuzz > 0 and args.family is None and broken is None:
+        result = fuzz(args.seed, budget_s=args.budget, max_scenarios=args.fuzz)
+        print(result.describe())
+        ok = ok and result.ok
+
+    failed = sum(1 for r in reports if not r.ok)
+    print(
+        f"conformance: {len(reports) - failed}/{len(reports)} scenarios conform"
+        + ("" if ok else " -- DIVERGENCE")
+    )
+    return 0 if ok else 1
 
 
 def _cmd_experiment(args) -> int:
@@ -182,6 +320,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "kappa":
         return _cmd_kappa(args)
+    if args.command == "conform":
+        return _cmd_conform(args)
     if args.command == "list":
         return _cmd_list()
     raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,309 @@
+"""Lockstep dual-path execution: one protocol, two engines, shared draws.
+
+The engine's two per-slot execution paths (see
+:mod:`repro.radio.engine`) are supposed to simulate the *same* radio
+model.  This module makes that claim falsifiable: it runs the
+**vectorized fast path** and the **per-node compatibility path** side
+by side on the same deployment, parameters, wake schedule, and seed,
+and demands slot-exact agreement of every observable — transmissions
+(including payloads), receptions, collisions, state transitions,
+decisions, and the always-on channel metrics.
+
+The trick that makes slot-exact comparison possible is a **shared
+transmit-decision stream**.  The vectorized path draws all transmit
+Bernoullis in one ``rng.random(n)`` call per slot; the compatibility
+side runs the same batched-interface nodes behind :class:`StepShimNode`
+wrappers whose ``step()`` reads its node's uniform from a
+:class:`SlotUniformSource` — a generator seeded identically to the
+vectorized engine's and drawn in the same one-``random(n)``-per-slot
+pattern.  Both paths therefore see byte-identical transmit decisions,
+and byte-identical loss streams (both engines spawn their loss child
+from equal seed sequences), so *any* remaining difference is a real
+semantic divergence between the paths: a stale fast-path cache, a
+missed refresh, a reordered delivery, a miscounted metric.
+
+What the shim deliberately does **not** share is the fast path's
+bookkeeping: it re-reads ``next_event_slot()`` / ``tx_prob()`` fresh
+from node state every slot, while the vectorized engine trusts its
+cached ``_evt`` / ``_p`` arrays and the ``_refresh`` discipline that
+maintains them.  The caches are exactly the machinery PR 1 added and
+exactly where lockstep divergences would come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.conform.divergence import ConformanceReport, Divergence, localize_slot
+from repro.conform.scenarios import Scenario
+from repro.core.params import Parameters, suggested_max_slots
+from repro.core.vector_node import BernoulliColoringNode
+from repro.graphs.deployment import Deployment
+from repro.radio.engine import RadioSimulator
+from repro.radio.messages import Message
+from repro.radio.node import ProtocolNode
+from repro.radio.trace import TraceRecorder
+
+__all__ = [
+    "LockstepPair",
+    "SlotUniformSource",
+    "StepShimNode",
+    "build_lockstep",
+    "run_lockstep",
+]
+
+#: spawn-key tag for conformance generators (distinct from run_coloring's).
+_CONFORM_KEY = 0xC04F
+
+
+class SlotUniformSource:
+    """Per-slot uniform vectors, drawn exactly like the vectorized engine.
+
+    One ``random(n)`` call per slot from a generator seeded identically
+    to the vectorized engine's protocol stream — so ``uniforms(t)[v]``
+    is byte-identical to the variate the fast path compares against
+    ``tx_prob`` of node ``v`` in slot ``t``.  Slots must be consumed in
+    order (the stream cannot rewind); the current slot's vector is
+    cached so all ``n`` shims share one draw.
+    """
+
+    def __init__(self, seed_seq: np.random.SeedSequence, n: int) -> None:
+        self._rng = np.random.Generator(np.random.PCG64(seed_seq))
+        self.n = n
+        self._slot = -1
+        self._u: np.ndarray | None = None
+
+    def uniforms(self, slot: int) -> np.ndarray:
+        """The slot's uniform vector (advances the stream on first call).
+
+        Slots in which no shim asked for a uniform (nobody awake yet)
+        are fast-forwarded through: the vectorized engine draws its
+        ``random(n)`` *every* slot unconditionally, so the source must
+        burn the same vectors to stay aligned.  Rewinding is impossible.
+        """
+        if slot == self._slot:
+            return self._u  # type: ignore[return-value]
+        if slot < self._slot:
+            raise RuntimeError(
+                f"slot uniforms consumed out of order: {self._slot} -> {slot}"
+            )
+        while self._slot < slot:
+            self._u = self._rng.random(self.n)
+            self._slot += 1
+        return self._u
+
+
+class StepShimNode(ProtocolNode):
+    """Drives one batched-interface node through the classic step path.
+
+    Mirrors the vectorized engine's per-slot semantics for a single
+    node — apply the due scheduled event, then transmit iff the shared
+    uniform beats ``tx_prob()`` — but recomputes everything from node
+    state instead of trusting engine caches.  The engine-provided
+    ``rng`` is deliberately unused: transmit decisions come from the
+    shared :class:`SlotUniformSource` so both paths consume identical
+    randomness.
+    """
+
+    __slots__ = ("inner", "_source")
+
+    def __init__(self, inner, source: SlotUniformSource) -> None:
+        super().__init__(inner.vid)
+        self.inner = inner
+        self._source = source
+
+    def on_wake(self, slot: int) -> None:
+        """Forward the wake-up to the wrapped node."""
+        self.inner.wake(slot)
+
+    def step(self, slot: int, rng) -> Message | None:
+        """One classic-path slot with fast-path semantics: apply the due
+        event, then transmit iff the shared uniform beats ``tx_prob``."""
+        inner = self.inner
+        if inner.next_event_slot() <= slot:
+            inner.on_event(slot)
+        if self._source.uniforms(slot)[self.vid] < inner.tx_prob():
+            return inner.emit(slot)
+        return None
+
+    def deliver(self, slot: int, msg: Message) -> None:
+        """Forward a successful reception to the wrapped node."""
+        self.inner.deliver(slot, msg)
+
+    @property
+    def done(self) -> bool:
+        """Whether the wrapped node has decided its color."""
+        return self.inner.done
+
+
+@dataclass
+class LockstepPair:
+    """The two wired simulators plus their traces and node lists."""
+
+    classic: RadioSimulator
+    vectorized: RadioSimulator
+    classic_nodes: list  #: the *inner* protocol nodes behind the shims
+    vectorized_nodes: list
+
+
+def build_lockstep(
+    dep: Deployment,
+    params: Parameters,
+    wake_slots: np.ndarray,
+    *,
+    seed: int = 0,
+    loss_prob: float = 0.0,
+    node_cls: type = BernoulliColoringNode,
+    vectorized_node_cls: type | None = None,
+) -> LockstepPair:
+    """Wire the dual-path pair (identical seeds, independent traces).
+
+    ``vectorized_node_cls`` substitutes a different node class on the
+    fast-path side only — how the localizer's own regression tests
+    inject deliberate bugs.
+    """
+    n = dep.n
+
+    def seed_seq() -> np.random.SeedSequence:
+        # Three *equal but distinct* SeedSequence instances: each PCG64
+        # stream starts identically, and each engine spawns its own loss
+        # child from its own (fresh) spawn counter, so the loss streams
+        # coincide too.
+        return np.random.SeedSequence(entropy=seed, spawn_key=(_CONFORM_KEY,))
+
+    trace_a = TraceRecorder(n, level=2)
+    trace_b = TraceRecorder(n, level=2)
+    source = SlotUniformSource(seed_seq(), n)
+    inner = [node_cls(v, params, trace_a) for v in range(n)]
+    shims = [StepShimNode(node, source) for node in inner]
+    classic = RadioSimulator(
+        dep,
+        shims,
+        wake_slots,
+        rng=np.random.Generator(np.random.PCG64(seed_seq())),
+        trace=trace_a,
+        loss_prob=loss_prob,
+    )
+    assert not classic.vectorized, "shim population must run the classic path"
+    vec_cls = vectorized_node_cls or node_cls
+    vec_nodes = [vec_cls(v, params, trace_b) for v in range(n)]
+    vectorized = RadioSimulator(
+        dep,
+        vec_nodes,
+        wake_slots,
+        rng=np.random.Generator(np.random.PCG64(seed_seq())),
+        trace=trace_b,
+        loss_prob=loss_prob,
+        vectorized=True,
+    )
+    return LockstepPair(classic, vectorized, inner, vec_nodes)
+
+
+#: metric columns compared across paths (draw counts are per-path
+#: diagnostics: the paths consume their streams differently by design).
+_COMPARED_METRICS = ("tx", "rx", "collisions", "lost")
+
+
+def _final_divergence(pair: LockstepPair, scenario) -> Divergence | None:
+    """Terminal cross-checks once the slot loop agreed everywhere."""
+    ta, tb = pair.classic.trace, pair.vectorized.trace
+    slot = pair.classic.slot
+    for v, (a, b) in enumerate(zip(pair.classic_nodes, pair.vectorized_nodes)):
+        if getattr(a, "color", None) != getattr(b, "color", None):
+            return Divergence(
+                slot, v, "final.colors", a.color, b.color, scenario
+            )
+    for name, arr_a, arr_b in (
+        ("final.decide_slot", ta.decide_slot, tb.decide_slot),
+        ("final.tx_count", ta.tx_count, tb.tx_count),
+        ("final.rx_count", ta.rx_count, tb.rx_count),
+        ("final.collision_count", ta.collision_count, tb.collision_count),
+    ):
+        if not np.array_equal(arr_a, arr_b):
+            v = int(np.nonzero(arr_a != arr_b)[0][0])
+            return Divergence(slot, v, name, int(arr_a[v]), int(arr_b[v]), scenario)
+    return None
+
+
+def run_lockstep(
+    dep: Deployment,
+    params: Parameters,
+    wake_slots: np.ndarray,
+    *,
+    seed: int = 0,
+    loss_prob: float = 0.0,
+    max_slots: int | None = None,
+    node_cls: type = BernoulliColoringNode,
+    vectorized_node_cls: type | None = None,
+    scenario: Scenario | None = None,
+) -> ConformanceReport:
+    """Step both paths in lockstep and localize the first divergence.
+
+    Every slot, both simulators advance once; the slot's trace events
+    (level 2: every tx/rx/collision plus wake/state/decide) and channel
+    metrics are compared in canonical form.  On the first mismatch the
+    loop stops and the report carries a :class:`Divergence` naming the
+    slot, node, and field, with the scenario as minimized reproducer.
+    """
+    pair = build_lockstep(
+        dep,
+        params,
+        wake_slots,
+        seed=seed,
+        loss_prob=loss_prob,
+        node_cls=node_cls,
+        vectorized_node_cls=vectorized_node_cls,
+    )
+    if max_slots is None:
+        wake_max = int(wake_slots.max()) if dep.n else 0
+        max_slots = suggested_max_slots(params, wake_max)
+    sim_a, sim_b = pair.classic, pair.vectorized
+    ta, tb = sim_a.trace, sim_b.trace
+    n = dep.n
+    ia = ib = 0  # consumed prefixes of the two event lists
+    divergence: Divergence | None = None
+    while sim_a.slot < max_slots:
+        t = sim_a.slot
+        sim_a.step()
+        sim_b.step()
+        divergence = localize_slot(t, ta.events[ia:], tb.events[ib:], scenario)
+        ia, ib = len(ta.events), len(tb.events)
+        if divergence is None:
+            row_a = ta.channel_metrics.row(t)
+            row_b = tb.channel_metrics.row(t)
+            for name in _COMPARED_METRICS:
+                if row_a[name] != row_b[name]:
+                    # Events agreed but a counter did not: the metrics
+                    # instrumentation itself drifted between paths.
+                    divergence = Divergence(
+                        t, None, f"metrics.{name}", row_a[name], row_b[name], scenario
+                    )
+                    break
+        if divergence is not None:
+            break
+        if ta.decided >= n and tb.decided >= n:
+            break
+    if divergence is None:
+        if (ta.decided >= n) != (tb.decided >= n):
+            divergence = Divergence(
+                sim_a.slot,
+                None,
+                "completed",
+                ta.decided >= n,
+                tb.decided >= n,
+                scenario,
+            )
+    if divergence is None:
+        divergence = _final_divergence(pair, scenario)
+    completed = ta.decided >= n and tb.decided >= n
+    return ConformanceReport(
+        scenario=scenario,
+        ok=divergence is None,
+        slots=sim_a.slot,
+        completed=completed,
+        divergence=divergence,
+        classic_totals=ta.channel_metrics.totals(),
+        vectorized_totals=tb.channel_metrics.totals(),
+    )

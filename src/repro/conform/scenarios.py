@@ -1,0 +1,199 @@
+"""Conformance scenarios: seeded (graph, schedule, loss, constants) tuples.
+
+A :class:`Scenario` is a fully-seeded description of one conformance
+run — graph family and size, wake-up schedule, injected loss
+probability, and a protocol-constants scale — small enough to embed in
+a failure report verbatim.  That is the point: when the lockstep
+harness finds a divergence, the scenario *is* the reproducer.
+
+Two sources of scenarios:
+
+- :data:`SCENARIO_MATRIX` — the pinned conformance matrix (4 graph
+  families x 3 wake-up schedules x loss in {0, 0.1}), run by
+  ``repro conform`` and the tier-1 smoke subset;
+- :func:`random_scenarios` — the fuzzer: an endless seeded stream
+  sweeping family, size, degree, schedule, loss, and constants, for
+  budgeted fuzzing (``repro conform --fuzz`` / ``make conform``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+import numpy as np
+
+from repro._util import spawn_generator
+from repro.core.params import Parameters
+from repro.graphs import doubling_grid_ubg, quasi_udg, random_udg, torus_udg
+from repro.graphs.deployment import Deployment
+from repro.wakeup import sequential, staggered_neighbors, synchronous, uniform_random
+
+__all__ = [
+    "FAMILIES",
+    "SCENARIO_MATRIX",
+    "SCHEDULES",
+    "Scenario",
+    "quick_matrix",
+    "random_scenarios",
+]
+
+#: graph families the conformance matrix covers (UDG, torus, UBG over a
+#: doubling metric, and the adversarial quasi-UDG BIG).
+FAMILIES = ("udg", "torus", "ubg", "quasi_udg")
+
+#: wake-up schedule shapes.
+SCHEDULES = ("sync", "random", "staggered")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One seeded conformance run, reproducible from this record alone."""
+
+    family: str = "udg"
+    n: int = 24
+    degree: float = 6.0
+    schedule: str = "sync"
+    loss_prob: float = 0.0
+    seed: int = 0
+    #: protocol-constants scale (``Parameters.practical(scale=...)``).
+    param_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(f"unknown family {self.family!r}; pick from {FAMILIES}")
+        if self.schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {self.schedule!r}; pick from {SCHEDULES}"
+            )
+        if self.n < 1:
+            raise ValueError("scenarios need n >= 1")
+
+    # ------------------------------------------------------------------
+    def build_deployment(self) -> Deployment:
+        """Generate the scenario's deployment (seeded, reproducible)."""
+        if self.family == "udg":
+            return random_udg(self.n, expected_degree=self.degree, seed=self.seed)
+        if self.family == "torus":
+            return torus_udg(self.n, expected_degree=self.degree, seed=self.seed)
+        if self.family == "ubg":
+            # Side sized so the expected l_inf degree lands near `degree`:
+            # E[deg] ~ (n-1) * (2r)^dim / side^dim with r = 1, dim = 2.
+            side = max(2.5, float(np.sqrt(max(self.n - 1, 1) * 4.0 / self.degree)))
+            return doubling_grid_ubg(self.n, dim=2, side=side, seed=self.seed)
+        # Adversarial BIG: quasi-UDG with a gray zone around the UDG radius.
+        side = max(2.5, float(np.sqrt(max(self.n - 1, 1) * np.pi / self.degree)))
+        return quasi_udg(
+            self.n, r_in=1.0, r_out=1.6, side=side, link_prob=0.5, seed=self.seed
+        )
+
+    def build_wake_slots(self, dep: Deployment) -> np.ndarray:
+        """Generate the scenario's wake-slot array."""
+        if self.schedule == "sync":
+            return synchronous(dep.n)
+        if self.schedule == "random":
+            return uniform_random(dep.n, window=max(2, 2 * dep.n), seed=self.seed + 1)
+        # "staggered": deterministic neighbor-staggered wake-up when the
+        # graph has edges, else a sequential ramp — both exercise wake
+        # orders that differ from vid order (the lockstep harness's
+        # canonical-ordering contract must hold regardless).
+        if dep.graph.number_of_edges():
+            return staggered_neighbors(dep, gap=7)
+        return sequential(dep.n, gap=3, seed=self.seed + 1)
+
+    def build_params(self, dep: Deployment) -> Parameters:
+        """Measured-kappa practical parameters at this scenario's scale."""
+        return Parameters.for_deployment(dep, scale=self.param_scale)
+
+    def build(self) -> tuple[Deployment, Parameters, np.ndarray]:
+        """Deployment, parameters, and wake slots in one call."""
+        dep = self.build_deployment()
+        return dep, self.build_params(dep), self.build_wake_slots(dep)
+
+    # ------------------------------------------------------------------
+    def label(self) -> str:
+        """Compact one-line description for reports."""
+        return (
+            f"{self.family}(n={self.n}, deg={self.degree:g}) "
+            f"wake={self.schedule} loss={self.loss_prob:g} "
+            f"scale={self.param_scale:g} seed={self.seed}"
+        )
+
+    def cli_args(self) -> str:
+        """The ``repro conform`` flags that replay exactly this scenario."""
+        return (
+            f"--family {self.family} --n {self.n} --degree {self.degree:g} "
+            f"--schedule {self.schedule} --loss {self.loss_prob:g} "
+            f"--param-scale {self.param_scale:g} --seed {self.seed}"
+        )
+
+
+def _matrix() -> tuple[Scenario, ...]:
+    """The pinned conformance matrix: every family x schedule x loss
+    combination, seeds fixed so failures are reproducible by label."""
+    out = []
+    for fi, family in enumerate(FAMILIES):
+        for si, schedule in enumerate(SCHEDULES):
+            for li, loss in enumerate((0.0, 0.1)):
+                out.append(
+                    Scenario(
+                        family=family,
+                        n=20 + 2 * fi,
+                        degree=5.0 + si,
+                        schedule=schedule,
+                        loss_prob=loss,
+                        seed=1000 + 100 * fi + 10 * si + li,
+                    )
+                )
+    return tuple(out)
+
+
+#: the full pinned matrix (24 scenarios: 4 families x 3 schedules x 2 loss).
+SCENARIO_MATRIX: tuple[Scenario, ...] = _matrix()
+
+
+def quick_matrix() -> tuple[Scenario, ...]:
+    """A fast diagonal through the matrix: one scenario per family,
+    rotating schedules, alternating loss — the ``--quick`` / tier-1
+    smoke subset (seconds, not minutes)."""
+    out = []
+    for fi, family in enumerate(FAMILIES):
+        schedule = SCHEDULES[fi % len(SCHEDULES)]
+        loss = 0.1 if fi % 2 else 0.0
+        out.append(
+            Scenario(
+                family=family,
+                n=16,
+                degree=5.0,
+                schedule=schedule,
+                loss_prob=loss,
+                seed=500 + fi,
+            )
+        )
+    return tuple(out)
+
+
+def random_scenarios(master_seed: int = 0) -> Iterator[Scenario]:
+    """Endless seeded scenario stream for fuzzing.
+
+    Sweeps family, size (8..40), degree (3..8), schedule, loss
+    (0 / 0.05 / 0.1 / 0.2), and the protocol-constants scale
+    (0.6 / 1.0 / 1.5); per-scenario seeds are drawn from the stream, so
+    the whole fuzz run is reproducible from ``master_seed``.
+    """
+    rng = spawn_generator(master_seed, 0xF0552)
+    while True:
+        yield Scenario(
+            family=FAMILIES[int(rng.integers(len(FAMILIES)))],
+            n=int(rng.integers(8, 41)),
+            degree=float(rng.integers(3, 9)),
+            schedule=SCHEDULES[int(rng.integers(len(SCHEDULES)))],
+            loss_prob=float(rng.choice([0.0, 0.05, 0.1, 0.2])),
+            seed=int(rng.integers(0, 1 << 31)),
+            param_scale=float(rng.choice([0.6, 1.0, 1.5])),
+        )
+
+
+def replay(scenario: Scenario, **overrides) -> Scenario:
+    """A copy of ``scenario`` with fields replaced (report minimization)."""
+    return replace(scenario, **overrides)

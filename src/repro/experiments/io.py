@@ -92,7 +92,14 @@ def save_sweep_telemetry(
     p = pathlib.Path(path)
     p.parent.mkdir(parents=True, exist_ok=True)
     records = [
-        {"seed": t.seed, "wall_s": t.wall_s, "slots": t.slots, "tx": t.tx}
+        {
+            "seed": t.seed,
+            "wall_s": t.wall_s,
+            "slots": t.slots,
+            "tx": t.tx,
+            "rx": t.rx,
+            "collisions": t.collisions,
+        }
         for t in telemetry
     ]
     payload = {
@@ -110,7 +117,12 @@ def load_sweep_telemetry(path: str | pathlib.Path) -> list[RunTelemetry]:
     data = json.loads(pathlib.Path(path).read_text())
     return [
         RunTelemetry(
-            seed=r["seed"], wall_s=r["wall_s"], slots=r.get("slots"), tx=r.get("tx")
+            seed=r["seed"],
+            wall_s=r["wall_s"],
+            slots=r.get("slots"),
+            tx=r.get("tx"),
+            rx=r.get("rx"),
+            collisions=r.get("collisions"),
         )
         for r in data["runs"]
     ]

@@ -60,15 +60,18 @@ __all__ = [
 class RunTelemetry:
     """Wall-time and cost counters for one run of a sweep.
 
-    ``slots`` and ``tx`` are lifted from the run's result row when it is
-    a dict carrying ``slots`` / ``tx_total`` (or ``tx``) keys; ``None``
-    otherwise.
+    ``slots``, ``tx``, ``rx``, and ``collisions`` are lifted from the
+    run's result row when it is a dict carrying ``slots`` /
+    ``tx_total`` (or ``tx``) / ``rx_total`` (or ``rx``) /
+    ``collision_total`` (or ``collisions``) keys; ``None`` otherwise.
     """
 
     seed: int
     wall_s: float
     slots: int | None = None
     tx: int | None = None
+    rx: int | None = None
+    collisions: int | None = None
 
 
 #: Ambient telemetry sink (set by :func:`collect_telemetry`); a context
@@ -126,14 +129,25 @@ def _run_chunk(fn: Callable[[int], Any], chunk: list[int]) -> list[tuple[Any, fl
     return [_timed_run(fn, s) for s in chunk]
 
 
+def _lift_counter(row: dict, *keys: str) -> int | None:
+    """First of ``keys`` present in ``row`` with a numeric value."""
+    for key in keys:
+        value = row.get(key)
+        if isinstance(value, (int, float)):
+            return int(value)
+    return None
+
+
 def _telemetry_of(seed: int, result: Any, wall_s: float) -> RunTelemetry:
-    slots = tx = None
+    slots = tx = rx = collisions = None
     if isinstance(result, dict):
-        slots = result.get("slots")
-        tx = result.get("tx_total", result.get("tx"))
-        slots = int(slots) if isinstance(slots, (int, float)) else None
-        tx = int(tx) if isinstance(tx, (int, float)) else None
-    return RunTelemetry(seed=seed, wall_s=wall_s, slots=slots, tx=tx)
+        slots = _lift_counter(result, "slots")
+        tx = _lift_counter(result, "tx_total", "tx")
+        rx = _lift_counter(result, "rx_total", "rx")
+        collisions = _lift_counter(result, "collision_total", "collisions")
+    return RunTelemetry(
+        seed=seed, wall_s=wall_s, slots=slots, tx=tx, rx=rx, collisions=collisions
+    )
 
 
 def _can_dispatch(fn: Callable[[int], Any]) -> bool:

@@ -40,7 +40,18 @@ Determinism contract: the protocol stream (``rng``) is consumed in slot
 order by protocol decisions only.  Loss injection draws from a *spawned
 child generator*, never from the protocol stream, so a fixed seed yields
 the identical protocol trajectory at any ``loss_prob`` (paired
-experiments; see DESIGN.md §5).
+experiments; see DESIGN.md §5).  Within a slot, deliveries, collisions,
+and loss draws are processed in **ascending node order** regardless of
+which execution path produced the transmissions — this canonical order
+is what makes the two paths' traces comparable slot-for-slot (the
+conformance harness, :mod:`repro.conform`, depends on it).
+
+Both streams are metered (:class:`repro._util.RngMeter`): the engine
+records the number of variates each stream consumed in every slot as
+part of the always-on per-slot channel metrics
+(:class:`~repro.radio.trace.ChannelMetrics`), so RNG-coupling
+regressions show up as counter drift, not as unexplained trajectory
+changes three experiments later.
 """
 
 from __future__ import annotations
@@ -54,6 +65,7 @@ from repro.graphs.deployment import Deployment
 from repro.radio.messages import Message, message_bits
 from repro.radio.node import ProtocolNode
 from repro.radio.trace import TraceRecorder
+from repro._util import RngMeter
 
 __all__ = ["RadioSimulator", "SimulationResult", "build_csr"]
 
@@ -117,6 +129,13 @@ class RadioSimulator:
         delivery, so it must degrade gracefully — the robustness tests
         measure how much.  Losses are silent (no collision event either):
         the receiver observes nothing, exactly like a collision.
+    vectorized:
+        Execution-path override: ``None`` (default) auto-detects — the
+        fast path engages iff every node implements the batched
+        interface; ``False`` forces the per-node compatibility path even
+        for batched populations (conformance and benchmark comparisons);
+        ``True`` demands the fast path and raises if any node lacks the
+        interface.
     """
 
     def __init__(
@@ -128,6 +147,7 @@ class RadioSimulator:
         trace: TraceRecorder | None = None,
         max_message_bits: int | None = None,
         loss_prob: float = 0.0,
+        vectorized: bool | None = None,
     ) -> None:
         n = deployment.n
         if len(nodes) != n:
@@ -142,7 +162,9 @@ class RadioSimulator:
             raise ValueError(f"wake_slots must have shape ({n},)")
         if n and self.wake_slots.min() < 0:
             raise ValueError("wake slots must be non-negative")
-        self.rng = rng
+        # Both streams are metered so per-slot draw counts land in the
+        # channel metrics; metering is a transparent proxy (same stream).
+        self.rng = rng if isinstance(rng, RngMeter) else RngMeter(rng)
         self.trace = trace if trace is not None else TraceRecorder(n)
         self.max_message_bits = max_message_bits
         if not 0.0 <= loss_prob < 1.0:
@@ -151,7 +173,7 @@ class RadioSimulator:
         # Loss injection must not perturb the protocol stream: spawning a
         # child consumes no draws from ``rng``, so the protocol trajectory
         # at a fixed seed is identical at any loss_prob.
-        self._loss_rng = rng.spawn(1)[0] if loss_prob > 0.0 else None
+        self._loss_rng = RngMeter(self.rng.spawn(1)[0]) if loss_prob > 0.0 else None
 
         self.slot = 0
         self._neighbors = deployment.neighbors
@@ -170,9 +192,16 @@ class RadioSimulator:
         # Vectorized fast path (engaged only when every node opts in):
         # dense per-node send probabilities and next scheduled event slots,
         # refreshed whenever a node's state can have changed.
-        self.vectorized = n > 0 and all(
-            hasattr(node, "tx_prob") for node in self.nodes
-        )
+        batched = n > 0 and all(hasattr(node, "tx_prob") for node in self.nodes)
+        if vectorized is None:
+            self.vectorized = batched
+        elif vectorized and not batched:
+            raise ValueError(
+                "vectorized=True requires every node to implement the "
+                "batched interface (tx_prob/next_event_slot/on_event/emit)"
+            )
+        else:
+            self.vectorized = bool(vectorized)
         if self.vectorized:
             self._p = np.zeros(n, dtype=np.float64)
             self._evt = np.full(n, _FAR, dtype=np.int64)
@@ -247,10 +276,21 @@ class RadioSimulator:
         outbox.append((v, msg))
         self.trace.tx(t, v, msg)
 
-    def _resolve_and_deliver(self, t: int, outbox: list[tuple[int, Message]]) -> None:
+    def _resolve_and_deliver(
+        self, t: int, outbox: list[tuple[int, Message]]
+    ) -> tuple[int, int, int]:
         """Phases 3 + 4: transmitter-centric collision resolution, then
         deliveries to awake, listening nodes with exactly one transmitting
-        neighbor; collisions recorded for the rest."""
+        neighbor; collisions recorded for the rest.
+
+        Touched listeners are processed in **ascending node order**: the
+        set of deliveries is order-independent, but the loss stream is
+        consumed one draw per successful reception, so a canonical order
+        makes loss outcomes (and trace event order) a function of the
+        slot's transmission *set* — not of which execution path emitted
+        the transmissions in which sequence.  Returns this slot's
+        ``(deliveries, collisions, injected losses)``.
+        """
         recv_count = self._recv_count
         incoming = self._incoming
         transmitting = self._transmitting
@@ -264,7 +304,9 @@ class RadioSimulator:
                     touched.append(u)
                     incoming[u] = msg
                 recv_count[u] += 1
+        touched.sort()
 
+        delivered = collided = lost = 0
         vectorized = self.vectorized
         for u in touched:
             c = recv_count[u]
@@ -274,30 +316,47 @@ class RadioSimulator:
                         self._loss_rng is not None
                         and self._loss_rng.random() < self.loss_prob
                     ):
-                        pass  # injected fading loss: silent, like a collision
+                        lost += 1  # injected fading loss: silent, like a collision
                     else:
                         msg = incoming[u]
                         assert msg is not None
                         nodes[u].deliver(t, msg)
                         self.trace.rx(t, u, msg)
+                        delivered += 1
                         if vectorized:
                             self._refresh(int(u))
                 else:
                     self.trace.collision(t, u, int(c))
+                    collided += 1
             recv_count[u] = 0
             incoming[u] = None
         for v, _ in outbox:
             transmitting[v] = False
+        return delivered, collided, lost
 
     def step(self) -> None:
-        """Advance the network by one slot."""
+        """Advance the network by one slot (and record its channel
+        metrics: transmitters, deliveries, collisions, injected losses,
+        and the RNG draws each stream consumed)."""
         t = self.slot
+        draws0 = self.rng.draws
+        loss0 = self._loss_rng.draws if self._loss_rng is not None else 0
         self._wake_due(t)
         if self.vectorized:
             outbox = self._collect_vectorized(t)
         else:
             outbox = self._collect_classic(t)
-        self._resolve_and_deliver(t, outbox)
+        delivered, collided, lost = self._resolve_and_deliver(t, outbox)
+        loss1 = self._loss_rng.draws if self._loss_rng is not None else 0
+        self.trace.channel(
+            t,
+            tx=len(outbox),
+            rx=delivered,
+            collisions=collided,
+            lost=lost,
+            protocol_draws=self.rng.draws - draws0,
+            loss_draws=loss1 - loss0,
+        )
         self.slot = t + 1
 
     def run(

@@ -8,6 +8,13 @@ final coloring.  :class:`TraceRecorder` collects:
   collision-slots (slots in which >= 2 neighbors transmitted at a
   listening node — the node itself cannot observe this, but the
   omniscient trace can);
+- cheap always-on **per-slot channel metrics** (:class:`ChannelMetrics`):
+  transmitters, deliveries, collisions, injected losses, and RNG draws
+  consumed per stream in each slot, appended once per slot by the
+  engine.  These are the conformance harness's counters-first defense
+  against measurement bugs (e.g. the PR 1 slot-count drift): a per-slot
+  integer that disagrees between two engine paths localizes the bug to
+  a slot without event-level archaeology;
 - an event list for the rare, analysis-relevant events: wake-ups, state
   transitions, decisions (``level >= 1``);
 - optionally every transmission/reception (``level >= 2``; large).
@@ -24,7 +31,7 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["TraceEvent", "TraceRecorder"]
+__all__ = ["ChannelMetrics", "TraceEvent", "TraceRecorder"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -40,6 +47,72 @@ class TraceEvent:
     node: int
     kind: str
     data: dict[str, Any] = field(default_factory=dict)
+
+
+class ChannelMetrics:
+    """Per-slot channel activity, one integer row appended per slot.
+
+    Columns (all per slot):
+
+    - ``tx`` — transmitting nodes;
+    - ``rx`` — successful deliveries (exactly-one-transmitting-neighbor
+      receptions that survived loss injection);
+    - ``collisions`` — listening nodes that had >= 2 transmitting
+      neighbors (per listener, not per colliding pair);
+    - ``lost`` — otherwise-successful receptions dropped by injected
+      loss (``loss_prob``);
+    - ``protocol_draws`` — variates consumed from the protocol RNG
+      stream during the slot;
+    - ``loss_draws`` — variates consumed from the loss-injection stream
+      during the slot.
+
+    Appending six ``int`` values per slot keeps this cheap enough to be
+    always on; :meth:`as_arrays` converts to numpy for analysis.
+    """
+
+    FIELDS = ("tx", "rx", "collisions", "lost", "protocol_draws", "loss_draws")
+
+    __slots__ = FIELDS
+
+    def __init__(self) -> None:
+        for name in self.FIELDS:
+            setattr(self, name, [])
+
+    def append(
+        self,
+        tx: int,
+        rx: int,
+        collisions: int,
+        lost: int,
+        protocol_draws: int,
+        loss_draws: int,
+    ) -> None:
+        """Record one slot's channel activity (engine-side, once per slot)."""
+        self.tx.append(tx)
+        self.rx.append(rx)
+        self.collisions.append(collisions)
+        self.lost.append(lost)
+        self.protocol_draws.append(protocol_draws)
+        self.loss_draws.append(loss_draws)
+
+    def __len__(self) -> int:
+        """Number of recorded slots."""
+        return len(self.tx)
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """All columns as int64 arrays, indexed by slot."""
+        return {
+            name: np.asarray(getattr(self, name), dtype=np.int64)
+            for name in self.FIELDS
+        }
+
+    def totals(self) -> dict[str, int]:
+        """Column sums over all recorded slots."""
+        return {name: int(sum(getattr(self, name))) for name in self.FIELDS}
+
+    def row(self, slot: int) -> dict[str, int]:
+        """One slot's metrics as a dict (negative slots index from the end)."""
+        return {name: getattr(self, name)[slot] for name in self.FIELDS}
 
 
 class TraceRecorder:
@@ -68,6 +141,8 @@ class TraceRecorder:
         #: checks, so run loops can evaluate their stop condition every
         #: slot and report the exact completion slot.
         self.decided = 0
+        #: always-on per-slot channel metrics (appended by the engine).
+        self.channel_metrics = ChannelMetrics()
 
     # -- protocol-side hooks ------------------------------------------------
     def wake(self, slot: int, node: int) -> None:
@@ -110,6 +185,25 @@ class TraceRecorder:
             self.events.append(
                 TraceEvent(slot, node, "collision", {"senders": senders})
             )
+
+    def channel(
+        self,
+        slot: int,
+        tx: int,
+        rx: int,
+        collisions: int,
+        lost: int,
+        protocol_draws: int,
+        loss_draws: int,
+    ) -> None:
+        """Record one slot's channel metrics.  ``slot`` must advance by
+        one per call (the metrics arrays are slot-indexed)."""
+        if slot != len(self.channel_metrics):
+            raise ValueError(
+                f"channel metrics for slot {slot} after "
+                f"{len(self.channel_metrics)} recorded slots"
+            )
+        self.channel_metrics.append(tx, rx, collisions, lost, protocol_draws, loss_draws)
 
     # -- queries --------------------------------------------------------------
     def decision_times(self) -> np.ndarray:

@@ -46,6 +46,68 @@ class TestColor:
             main(["color", "--schedule", "mystery"])
 
 
+class TestColorMetrics:
+    def test_metrics_flag_prints_channel_block(self, capsys):
+        rc = main(["color", "--n", "20", "--degree", "6", "--seed", "2", "--metrics"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "channel metrics:" in out
+        assert "protocol_draws" in out
+        assert "busiest slot" in out
+
+
+@pytest.mark.conform
+class TestConform:
+    """Acceptance: zero on the real protocol, nonzero with the slot/node
+    report on a deliberately broken node class."""
+
+    def test_quick_matrix_exits_zero(self, capsys):
+        rc = main(["conform", "--quick"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "4/4 scenarios conform" in out
+
+    def test_injected_bug_exits_nonzero_with_report(self, capsys):
+        rc = main(["conform", "--quick", "--inject-bug"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "DIVERGENCE at slot" in out
+        assert "node" in out
+        assert "replay:" in out and "--max-slots" in out
+
+    def test_single_scenario_replay(self, capsys):
+        rc = main(
+            ["conform", "--family", "udg", "--n", "16", "--degree", "5",
+             "--schedule", "sync", "--loss", "0", "--param-scale", "1",
+             "--seed", "500", "--max-slots", "100"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "slot budget hit" in out
+
+    def test_replay_with_injected_bug_exits_nonzero(self, capsys):
+        rc = main(
+            ["conform", "--family", "udg", "--n", "16", "--degree", "5",
+             "--schedule", "sync", "--seed", "500", "--inject-bug"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "field 'tx.msg'" in out
+
+    def test_metrics_flag_prints_totals(self, capsys):
+        rc = main(
+            ["conform", "--family", "udg", "--n", "12", "--degree", "5",
+             "--seed", "500", "--max-slots", "60", "--metrics"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "classic:" in out and "vectorized:" in out
+
+    def test_rejects_unknown_family(self):
+        with pytest.raises(SystemExit):
+            main(["conform", "--family", "hypercube"])
+
+
 class TestExperiment:
     def test_runs_e5_and_prints_table(self, capsys):
         rc = main(["experiment", "e5", "--seeds", "1"])

@@ -40,6 +40,45 @@ class TestGoldenColoring:
         assert res.slots == res2.slots
         assert np.array_equal(res.trace.tx_count, res2.trace.tx_count)
 
+    def test_udg_channel_metrics_pinned(self):
+        """Per-stream RNG draw counts, pinned exactly.
+
+        Draw-count drift is the silent failure mode behind the PR 1
+        loss-RNG coupling bug: a change that consumes one extra variate
+        shifts every later decision while leaving the code "working".
+        The per-slot channel metrics make consumption observable; these
+        literals pin it.  Update only together with the trajectory pins
+        above and a note in EXPERIMENTS.md.
+        """
+        dep = random_udg(40, expected_degree=8, seed=1, connected=True)
+        totals = run_coloring(dep, seed=11).trace.channel_metrics.totals()
+        assert totals == {
+            "tx": 8407,
+            "rx": 36161,
+            "collisions": 3396,
+            "lost": 0,
+            "protocol_draws": 8554,
+            "loss_draws": 0,
+        }
+
+    def test_udg_lossy_channel_metrics_pinned(self):
+        """The lossy variant: the loss stream is a spawned child, so the
+        protocol stream's draw count may only change because the
+        *trajectory* changes (receptions lost -> different behaviour),
+        never because loss draws leak into it.  One loss draw per
+        otherwise-successful reception: loss_draws == rx + lost."""
+        dep = random_udg(40, expected_degree=8, seed=1, connected=True)
+        totals = run_coloring(dep, seed=11, loss_prob=0.1).trace.channel_metrics.totals()
+        assert totals == {
+            "tx": 8246,
+            "rx": 31573,
+            "collisions": 3500,
+            "lost": 3537,
+            "protocol_draws": 8390,
+            "loss_draws": 35110,
+        }
+        assert totals["loss_draws"] == totals["rx"] + totals["lost"]
+
     def test_ring_colors_pinned(self):
         res = run_coloring(ring_deployment(10), seed=3)
         res2 = run_coloring(ring_deployment(10), seed=3)
