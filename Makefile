@@ -1,12 +1,17 @@
 # Convenience targets for the reproduction harness.
 
-.PHONY: install test bench bench-smoke conform full-bench report tour clean
+.PHONY: install test lint bench bench-smoke conform full-bench report tour clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# Static checks (CI runs the same invocation; `pip install ruff` or
+# `pip install -e .[lint]` locally).
+lint:
+	ruff check src tests
 
 # Dual-path conformance: the quick scenario matrix plus a short seeded
 # fuzz (<= 30s wall clock total).  Exits nonzero with a slot/node-level

@@ -111,6 +111,47 @@ def test_unaligned_engine_throughput(benchmark):
     assert slots == 2000
 
 
+def test_unaligned_delegation_overhead(benchmark):
+    """The unaligned simulator now delegates message recording, loss,
+    delivery, and metrics to the shared ChannelCore; this tracks what
+    that delegation (plus the rolling two-buffer geometry it keeps
+    locally) costs relative to the aligned engine, and that switching
+    the core's loss stream on stays cheap.  Guardrails are deliberately
+    loose — the signal is the printed ratios drifting across commits."""
+    dep = random_udg(100, expected_degree=12, seed=1, connected=True)
+    params = Parameters.for_deployment(dep)
+    n_slots = 1500
+
+    def run_slots(**kwargs):
+        sim, _ = build_simulator(dep, params, seed=2, **kwargs)
+        t0 = time.perf_counter()
+        for _ in range(n_slots):
+            sim.step()
+        return n_slots / (time.perf_counter() - t0)
+
+    def measure():
+        aligned_rate = run_slots()
+        unaligned_rate = run_slots(unaligned=True)
+        lossy_rate = run_slots(unaligned=True, loss_prob=0.1)
+        return aligned_rate, unaligned_rate, lossy_rate
+
+    aligned_rate, unaligned_rate, lossy_rate = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    print(
+        f"\naligned {aligned_rate:,.0f} slots/s; "
+        f"unaligned {unaligned_rate:,.0f} slots/s "
+        f"({unaligned_rate / aligned_rate:.2f}x); "
+        f"unaligned+loss {lossy_rate:,.0f} slots/s "
+        f"({lossy_rate / unaligned_rate:.2f}x of unaligned)"
+    )
+    # The unaligned path does strictly more per slot (overlap buffers,
+    # lagged finalization) but must stay within the same order of
+    # magnitude, and loss draws must not dominate it.
+    assert unaligned_rate >= 0.1 * aligned_rate
+    assert lossy_rate >= 0.5 * unaligned_rate
+
+
 def test_metrics_overhead_and_consistency(benchmark):
     """The always-on channel metrics must stay cheap (they ride inside
     the hot loop) and their totals must agree with the trace's per-node

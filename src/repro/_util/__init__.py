@@ -18,7 +18,7 @@ from repro._util.mathx import (
     fact1_holds,
     log2n,
 )
-from repro._util.rng import RngMeter, RngStream, spawn_generator
+from repro._util.rng import RngMeter, RngStream, spawn_generator, stable_seed
 
 __all__ = [
     "IntegerIntervalSet",
@@ -30,4 +30,5 @@ __all__ = [
     "log2n",
     "max_value_outside",
     "spawn_generator",
+    "stable_seed",
 ]

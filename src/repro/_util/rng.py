@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["RngMeter", "RngStream", "spawn_generator"]
+__all__ = ["RngMeter", "RngStream", "spawn_generator", "stable_seed"]
 
 
 def spawn_generator(seed: int | None, *keys: int) -> np.random.Generator:
@@ -42,6 +42,21 @@ def spawn_generator(seed: int | None, *keys: int) -> np.random.Generator:
         return np.random.default_rng()
     ss = np.random.SeedSequence(entropy=seed, spawn_key=tuple(int(k) for k in keys))
     return np.random.Generator(np.random.PCG64(ss))
+
+
+def stable_seed(*parts: object, modulo: int = 10_000) -> int:
+    """A process-independent integer seed derived from ``parts``.
+
+    Built on CRC-32 of the parts' repr, NOT Python's ``hash()``: string
+    hashing is salted per interpreter (PYTHONHASHSEED), so ``hash()``-
+    derived seeds silently differ between runs *and* between a sweep's
+    parent and its spawned workers — breaking the "tables identical at
+    any worker count" contract.  Same ``parts`` here always yield the
+    same seed, in every process.
+    """
+    import zlib
+
+    return zlib.crc32(repr(parts).encode()) % modulo
 
 
 class RngMeter:

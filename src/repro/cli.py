@@ -84,6 +84,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     color.add_argument("--loss", type=float, default=0.0, help="injected loss probability")
     color.add_argument(
+        "--unaligned", action="store_true",
+        help="run on the non-aligned-slots simulator (per-node phase "
+        "offsets; composes with --loss)",
+    )
+    color.add_argument(
+        "--channels", type=int, default=1, metavar="K",
+        help="run on a K-channel PHY (nodes hop channels per slot; "
+        "1 = the paper's single-channel model; practical constants are "
+        "scaled by K to offset the 1/K meeting rate)",
+    )
+    color.add_argument(
         "--regime", choices=("practical", "theoretical"), default="practical",
         help="parameter regime",
     )
@@ -161,6 +172,17 @@ def _build_parser() -> argparse.ArgumentParser:
     conform.add_argument("--loss", type=float, default=0.0)
     conform.add_argument("--param-scale", type=float, default=1.0)
     conform.add_argument("--max-slots", type=int, default=None)
+    conform.add_argument(
+        "--phy", choices=("collision", "multichannel", "unaligned"),
+        default="collision",
+        help="channel model under comparison: the default collision PHY, "
+        "a multi-channel PHY on both engine paths, or the unaligned "
+        "simulator against the aligned engine",
+    )
+    conform.add_argument(
+        "--channels", type=int, default=1, metavar="K",
+        help="channel count for --phy multichannel",
+    )
 
     sub.add_parser("list", help="list available experiments")
     return parser
@@ -174,10 +196,22 @@ def _cmd_color(args) -> int:
 
     dep = random_udg(args.n, expected_degree=args.degree, seed=args.seed)
     print(f"deployment: {dep.describe()}")
-    params = Parameters.for_deployment(dep, regime=args.regime)
+    scale_kwargs = {}
+    if args.channels > 1 and args.regime == "practical":
+        # Hopping thins the meeting rate by 1/k; scale the constants
+        # with the channel count so runs stay at the intended operating
+        # point (E17 measures exactly this trade).
+        scale_kwargs["scale"] = float(args.channels)
+    params = Parameters.for_deployment(dep, regime=args.regime, **scale_kwargs)
     wake = ALL_SCHEDULES[args.schedule](dep, seed=args.seed + 1)
     result = run_coloring(
-        dep, params=params, wake_slots=wake, seed=args.seed + 2, loss_prob=args.loss
+        dep,
+        params=params,
+        wake_slots=wake,
+        seed=args.seed + 2,
+        loss_prob=args.loss,
+        unaligned=args.unaligned,
+        channels=args.channels,
     )
     for k, v in result.summary().items():
         print(f"  {k}: {v}")
@@ -211,6 +245,7 @@ def _cmd_conform(args) -> int:
         OffByOneCounterNode,
         Scenario,
         fuzz,
+        phy_matrix,
         quick_matrix,
         run_matrix,
         run_scenario,
@@ -228,6 +263,8 @@ def _cmd_conform(args) -> int:
             loss_prob=args.loss,
             seed=args.seed,
             param_scale=args.param_scale,
+            phy=args.phy,
+            channels=args.channels,
         )
         reports = [
             run_scenario(
@@ -235,7 +272,14 @@ def _cmd_conform(args) -> int:
             )
         ]
     else:
-        matrix = quick_matrix() if args.quick else SCENARIO_MATRIX
+        if args.quick:
+            matrix = quick_matrix()
+        elif broken is not None:
+            # Broken node classes only plug into the dual-engine lockstep;
+            # keep the self-test on the default-PHY matrix.
+            matrix = SCENARIO_MATRIX
+        else:
+            matrix = SCENARIO_MATRIX + phy_matrix()
         if broken is not None:
             # The broken class must reach run_lockstep, so run serially.
             reports = [

@@ -25,22 +25,29 @@ from repro.conform.divergence import ConformanceReport, Divergence, localize_slo
 from repro.conform.lockstep import (
     LockstepPair,
     SlotUniformSource,
+    SourcedBeaconNode,
     StepShimNode,
     build_lockstep,
     run_lockstep,
+    run_unaligned_lockstep,
 )
 from repro.conform.runner import FuzzResult, fuzz, run_matrix, run_scenario
 from repro.conform.scenarios import (
     FAMILIES,
+    PHY_MATRIX,
+    PHYS,
     SCENARIO_MATRIX,
     SCHEDULES,
     Scenario,
+    phy_matrix,
     quick_matrix,
     random_scenarios,
 )
 
 __all__ = [
     "FAMILIES",
+    "PHYS",
+    "PHY_MATRIX",
     "SCENARIO_MATRIX",
     "SCHEDULES",
     "ConformanceReport",
@@ -51,13 +58,16 @@ __all__ = [
     "OffByOneCounterNode",
     "Scenario",
     "SlotUniformSource",
+    "SourcedBeaconNode",
     "StepShimNode",
     "build_lockstep",
     "fuzz",
     "localize_slot",
+    "phy_matrix",
     "quick_matrix",
     "random_scenarios",
     "run_lockstep",
     "run_matrix",
     "run_scenario",
+    "run_unaligned_lockstep",
 ]

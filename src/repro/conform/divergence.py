@@ -82,6 +82,8 @@ class Divergence:
                 loss_prob=self.scenario.loss_prob,
                 seed=self.scenario.seed,
                 param_scale=self.scenario.param_scale,
+                phy=self.scenario.phy,
+                channels=self.scenario.channels,
             )
         return out
 

@@ -32,6 +32,7 @@ exactly where lockstep divergences would come from.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -41,17 +42,21 @@ from repro.conform.scenarios import Scenario
 from repro.core.params import Parameters, suggested_max_slots
 from repro.core.vector_node import BernoulliColoringNode
 from repro.graphs.deployment import Deployment
+from repro.radio.channel import PhyModel
 from repro.radio.engine import RadioSimulator
-from repro.radio.messages import Message
+from repro.radio.messages import ColorMessage, Message
 from repro.radio.node import ProtocolNode
 from repro.radio.trace import TraceRecorder
+from repro.radio.unaligned import UnalignedRadioSimulator
 
 __all__ = [
     "LockstepPair",
     "SlotUniformSource",
+    "SourcedBeaconNode",
     "StepShimNode",
     "build_lockstep",
     "run_lockstep",
+    "run_unaligned_lockstep",
 ]
 
 #: spawn-key tag for conformance generators (distinct from run_coloring's).
@@ -157,12 +162,17 @@ def build_lockstep(
     loss_prob: float = 0.0,
     node_cls: type = BernoulliColoringNode,
     vectorized_node_cls: type | None = None,
+    phy_factory: Callable[[], PhyModel] | None = None,
 ) -> LockstepPair:
     """Wire the dual-path pair (identical seeds, independent traces).
 
     ``vectorized_node_cls`` substitutes a different node class on the
     fast-path side only — how the localizer's own regression tests
-    inject deliberate bugs.
+    inject deliberate bugs.  ``phy_factory`` builds one fresh PHY model
+    per engine (a PHY binds to exactly one simulator); both sides get
+    structurally identical models, and any PHY side stream (e.g. channel
+    hopping) is spawned in the same order from identically-seeded
+    generators, so both paths hop identically.
     """
     n = dep.n
 
@@ -185,6 +195,7 @@ def build_lockstep(
         rng=np.random.Generator(np.random.PCG64(seed_seq())),
         trace=trace_a,
         loss_prob=loss_prob,
+        phy=phy_factory() if phy_factory is not None else None,
     )
     assert not classic.vectorized, "shim population must run the classic path"
     vec_cls = vectorized_node_cls or node_cls
@@ -197,6 +208,7 @@ def build_lockstep(
         trace=trace_b,
         loss_prob=loss_prob,
         vectorized=True,
+        phy=phy_factory() if phy_factory is not None else None,
     )
     return LockstepPair(classic, vectorized, inner, vec_nodes)
 
@@ -238,6 +250,7 @@ def run_lockstep(
     node_cls: type = BernoulliColoringNode,
     vectorized_node_cls: type | None = None,
     scenario: Scenario | None = None,
+    phy_factory: Callable[[], PhyModel] | None = None,
 ) -> ConformanceReport:
     """Step both paths in lockstep and localize the first divergence.
 
@@ -255,6 +268,7 @@ def run_lockstep(
         loss_prob=loss_prob,
         node_cls=node_cls,
         vectorized_node_cls=vectorized_node_cls,
+        phy_factory=phy_factory,
     )
     if max_slots is None:
         wake_max = int(wake_slots.max()) if dep.n else 0
@@ -306,4 +320,145 @@ def run_lockstep(
         divergence=divergence,
         classic_totals=ta.channel_metrics.totals(),
         vectorized_totals=tb.channel_metrics.totals(),
+    )
+
+
+class SourcedBeaconNode(ProtocolNode):
+    """Scripted no-feedback beacon for the unaligned lockstep.
+
+    Transmits a fresh :class:`ColorMessage` iff its slot's shared
+    uniform beats ``p``; deliveries are accepted (the engine traces
+    them) but never change behavior.  No feedback is the point: the
+    unaligned simulator delivers slot ``t`` only after nodes have
+    already stepped slot ``t + 1`` (the one-step delivery lag of its
+    rolling buffers), so any protocol that *reacts* to receptions acts
+    one slot later than on the aligned engine by construction.  With
+    scripted senders the transmission pattern is delivery-independent
+    and the two engines' channel-layer observables must match exactly.
+    """
+
+    __slots__ = ("p", "_source")
+
+    def __init__(self, vid: int, p: float, source: SlotUniformSource) -> None:
+        super().__init__(vid)
+        self.p = p
+        self._source = source
+
+    def step(self, slot: int, rng) -> Message | None:
+        """Transmit iff the shared slot uniform beats ``p`` (the
+        engine-provided ``rng`` is deliberately unused)."""
+        if self._source.uniforms(slot)[self.vid] < self.p:
+            return ColorMessage(sender=self.vid, color=self.vid)
+        return None
+
+    def deliver(self, slot: int, msg: Message) -> None:
+        """Accept silently (no feedback; see class docstring)."""
+
+    @property
+    def done(self) -> bool:
+        """Beacons never finish; runs are budget-bounded."""
+        return False
+
+
+def run_unaligned_lockstep(
+    dep: Deployment,
+    wake_slots: np.ndarray,
+    *,
+    seed: int = 0,
+    loss_prob: float = 0.0,
+    max_slots: int | None = None,
+    tx_prob: float = 0.25,
+    scenario: Scenario | None = None,
+) -> ConformanceReport:
+    """Lockstep the aligned classic engine against the zero-offset
+    unaligned simulator on a scripted beacon population.
+
+    With every offset zero, each transmission overlaps exactly one slot
+    of every neighbor, so the unaligned engine's rolling buffers must
+    reproduce the aligned reception rule *exactly* — same deliveries,
+    same collisions, same loss draws (both engines spawn their loss
+    child as the protocol stream's first spawn from identically-seeded
+    generators).  The comparison is slot-lagged: the unaligned engine
+    finalizes slot ``k`` during step ``k + 1`` and never finalizes the
+    final slot, so slots ``0 .. max_slots - 2`` are compared — events
+    in canonical form plus the full six-column metrics rows (protocol
+    and loss draw counts included: both sides' beacons draw from shared
+    uniform sources outside the metered stream, so the counters must
+    agree to the draw).
+    """
+    n = dep.n
+    if max_slots is None:
+        max_slots = 400
+    if max_slots < 2:
+        raise ValueError(f"unaligned lockstep needs max_slots >= 2, got {max_slots}")
+
+    def seed_seq() -> np.random.SeedSequence:
+        return np.random.SeedSequence(entropy=seed, spawn_key=(_CONFORM_KEY,))
+
+    trace_a = TraceRecorder(n, level=2)
+    trace_b = TraceRecorder(n, level=2)
+    # Each side gets its own (identically-seeded) source object; the
+    # nodes of one side share theirs via the per-slot cache.
+    src_a = SlotUniformSource(seed_seq(), n)
+    src_b = SlotUniformSource(seed_seq(), n)
+    nodes_a = [SourcedBeaconNode(v, tx_prob, src_a) for v in range(n)]
+    nodes_b = [SourcedBeaconNode(v, tx_prob, src_b) for v in range(n)]
+    aligned = RadioSimulator(
+        dep,
+        nodes_a,
+        wake_slots,
+        rng=np.random.Generator(np.random.PCG64(seed_seq())),
+        trace=trace_a,
+        loss_prob=loss_prob,
+    )
+    unaligned = UnalignedRadioSimulator(
+        dep,
+        nodes_b,
+        wake_slots,
+        rng=np.random.Generator(np.random.PCG64(seed_seq())),
+        trace=trace_b,
+        loss_prob=loss_prob,
+        offsets=np.zeros(n, dtype=float),
+    )
+    for _ in range(max_slots):
+        aligned.step()
+        unaligned.step()
+
+    by_slot_a: dict[int, list] = {}
+    for e in trace_a.events:
+        by_slot_a.setdefault(e.slot, []).append(e)
+    by_slot_b: dict[int, list] = {}
+    for e in trace_b.events:
+        by_slot_b.setdefault(e.slot, []).append(e)
+
+    divergence: Divergence | None = None
+    compared = max_slots - 1  # the final slot is never finalized unaligned
+    for k in range(compared):
+        divergence = localize_slot(
+            k, by_slot_a.get(k, []), by_slot_b.get(k, []), scenario
+        )
+        if divergence is None:
+            row_a = trace_a.channel_metrics.row(k)
+            row_b = trace_b.channel_metrics.row(k)
+            for name in row_a:
+                if row_a[name] != row_b[name]:
+                    divergence = Divergence(
+                        k, None, f"metrics.{name}", row_a[name], row_b[name], scenario
+                    )
+                    break
+        if divergence is not None:
+            break
+
+    def _totals(trace: TraceRecorder) -> dict[str, int]:
+        arrays = trace.channel_metrics.as_arrays()
+        return {name: int(arr[:compared].sum()) for name, arr in arrays.items()}
+
+    return ConformanceReport(
+        scenario=scenario,
+        ok=divergence is None,
+        slots=max_slots,
+        completed=True,  # budget-bounded by design: beacons never decide
+        divergence=divergence,
+        classic_totals=_totals(trace_a),
+        vectorized_totals=_totals(trace_b),
     )

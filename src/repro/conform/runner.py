@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from functools import partial
 
 from repro.conform.divergence import ConformanceReport
-from repro.conform.lockstep import run_lockstep
+from repro.conform.lockstep import run_lockstep, run_unaligned_lockstep
 from repro.conform.scenarios import Scenario, random_scenarios
 
 __all__ = ["FuzzResult", "fuzz", "run_matrix", "run_scenario"]
@@ -32,8 +32,35 @@ def run_scenario(
     max_slots: int | None = None,
     vectorized_node_cls: type | None = None,
 ) -> ConformanceReport:
-    """Build the scenario's world and run the lockstep comparison."""
+    """Build the scenario's world and run the lockstep comparison.
+
+    Dispatches on ``scenario.phy``: ``collision`` and ``multichannel``
+    lockstep the engine's classic and vectorized paths (the latter on a
+    :class:`~repro.radio.channel.MultiChannelPhy`); ``unaligned``
+    locksteps the aligned classic engine against the zero-offset
+    unaligned simulator on a scripted beacon population.
+    """
     dep, params, wake_slots = scenario.build()
+    if scenario.phy == "unaligned":
+        return run_unaligned_lockstep(
+            dep,
+            wake_slots,
+            seed=scenario.seed,
+            loss_prob=scenario.loss_prob,
+            max_slots=max_slots,
+            scenario=scenario,
+        )
+    phy_factory = None
+    if scenario.phy == "multichannel":
+        from repro.radio.channel import MultiChannelPhy
+
+        phy_factory = partial(MultiChannelPhy, scenario.channels)
+        if max_slots is None:
+            # The meeting rate drops as 1/k; scale the budget with it.
+            from repro.core.params import suggested_max_slots
+
+            wake_max = int(wake_slots.max()) if dep.n else 0
+            max_slots = suggested_max_slots(params, wake_max) * scenario.channels
     return run_lockstep(
         dep,
         params,
@@ -43,6 +70,7 @@ def run_scenario(
         max_slots=max_slots,
         vectorized_node_cls=vectorized_node_cls,
         scenario=scenario,
+        phy_factory=phy_factory,
     )
 
 

@@ -31,9 +31,12 @@ from repro.wakeup import sequential, staggered_neighbors, synchronous, uniform_r
 
 __all__ = [
     "FAMILIES",
+    "PHYS",
+    "PHY_MATRIX",
     "SCENARIO_MATRIX",
     "SCHEDULES",
     "Scenario",
+    "phy_matrix",
     "quick_matrix",
     "random_scenarios",
 ]
@@ -44,6 +47,13 @@ FAMILIES = ("udg", "torus", "ubg", "quasi_udg")
 
 #: wake-up schedule shapes.
 SCHEDULES = ("sync", "random", "staggered")
+
+#: conformance paths: ``collision`` locksteps the engine's classic and
+#: vectorized paths on the default PHY; ``multichannel`` does the same on
+#: a :class:`~repro.radio.channel.MultiChannelPhy`; ``unaligned``
+#: locksteps the aligned classic engine against the zero-offset unaligned
+#: simulator on a scripted no-feedback population.
+PHYS = ("collision", "multichannel", "unaligned")
 
 
 @dataclass(frozen=True)
@@ -58,6 +68,10 @@ class Scenario:
     seed: int = 0
     #: protocol-constants scale (``Parameters.practical(scale=...)``).
     param_scale: float = 1.0
+    #: conformance path (see :data:`PHYS`).
+    phy: str = "collision"
+    #: channel count for the ``multichannel`` phy (1 elsewhere).
+    channels: int = 1
 
     def __post_init__(self) -> None:
         if self.family not in FAMILIES:
@@ -68,6 +82,12 @@ class Scenario:
             )
         if self.n < 1:
             raise ValueError("scenarios need n >= 1")
+        if self.phy not in PHYS:
+            raise ValueError(f"unknown phy {self.phy!r}; pick from {PHYS}")
+        if self.channels < 1:
+            raise ValueError("scenarios need channels >= 1")
+        if self.channels > 1 and self.phy != "multichannel":
+            raise ValueError("channels > 1 requires phy='multichannel'")
 
     # ------------------------------------------------------------------
     def build_deployment(self) -> Deployment:
@@ -113,19 +133,29 @@ class Scenario:
     # ------------------------------------------------------------------
     def label(self) -> str:
         """Compact one-line description for reports."""
-        return (
+        base = (
             f"{self.family}(n={self.n}, deg={self.degree:g}) "
             f"wake={self.schedule} loss={self.loss_prob:g} "
             f"scale={self.param_scale:g} seed={self.seed}"
         )
+        if self.phy != "collision":
+            base += f" phy={self.phy}"
+        if self.channels > 1:
+            base += f" k={self.channels}"
+        return base
 
     def cli_args(self) -> str:
         """The ``repro conform`` flags that replay exactly this scenario."""
-        return (
+        base = (
             f"--family {self.family} --n {self.n} --degree {self.degree:g} "
             f"--schedule {self.schedule} --loss {self.loss_prob:g} "
             f"--param-scale {self.param_scale:g} --seed {self.seed}"
         )
+        if self.phy != "collision":
+            base += f" --phy {self.phy}"
+        if self.channels > 1:
+            base += f" --channels {self.channels}"
+        return base
 
 
 def _matrix() -> tuple[Scenario, ...]:
@@ -150,6 +180,44 @@ def _matrix() -> tuple[Scenario, ...]:
 
 #: the full pinned matrix (24 scenarios: 4 families x 3 schedules x 2 loss).
 SCENARIO_MATRIX: tuple[Scenario, ...] = _matrix()
+
+
+def _phy_matrix() -> tuple[Scenario, ...]:
+    """Pinned scenarios for the non-default PHY paths.
+
+    Kept separate from :data:`SCENARIO_MATRIX` (whose 24-cell shape is
+    itself pinned): three unaligned cells lockstepping the zero-offset
+    unaligned simulator against the aligned classic engine — with and
+    without loss, across wake schedules — and three multi-channel cells
+    lockstepping the classic and vectorized paths on a 2- and 3-channel
+    PHY.  Multi-channel cells scale the protocol constants with the
+    channel count (the meeting rate drops as ``1/k``) so the runs
+    complete within their scaled slot budgets.
+    """
+    return (
+        Scenario(family="udg", n=18, degree=5.0, schedule="sync",
+                 seed=4000, phy="unaligned"),
+        Scenario(family="udg", n=18, degree=5.0, schedule="sync",
+                 loss_prob=0.1, seed=4001, phy="unaligned"),
+        Scenario(family="torus", n=20, degree=6.0, schedule="random",
+                 loss_prob=0.1, seed=4010, phy="unaligned"),
+        Scenario(family="udg", n=18, degree=5.0, schedule="sync",
+                 seed=4100, phy="multichannel", channels=2, param_scale=2.0),
+        Scenario(family="udg", n=18, degree=5.0, schedule="sync",
+                 loss_prob=0.1, seed=4101, phy="multichannel", channels=2,
+                 param_scale=2.0),
+        Scenario(family="torus", n=20, degree=6.0, schedule="random",
+                 seed=4110, phy="multichannel", channels=3, param_scale=3.0),
+    )
+
+
+#: the pinned PHY matrix (3 unaligned + 3 multi-channel scenarios).
+PHY_MATRIX: tuple[Scenario, ...] = _phy_matrix()
+
+
+def phy_matrix() -> tuple[Scenario, ...]:
+    """The pinned non-default-PHY scenarios (see :data:`PHY_MATRIX`)."""
+    return PHY_MATRIX
 
 
 def quick_matrix() -> tuple[Scenario, ...]:

@@ -107,6 +107,7 @@ def build_simulator(
     per_node_params: list[Parameters] | None = None,
     unaligned: bool = False,
     offsets: np.ndarray | None = None,
+    channels: int = 1,
 ) -> tuple[RadioSimulator, list[ColoringNode]]:
     """Construct (but do not run) a simulator wired with coloring nodes.
 
@@ -127,13 +128,15 @@ def build_simulator(
         # Generous multiple of log2(n): IDs are 3 log2 n bits, plus a
         # couple of bounded numeric fields (Sect. 2's O(log n) messages).
         max_bits = int(16 * np.log2(max(dep.n, 4)) + 64)
+    if channels < 1:
+        raise ValueError(f"channels must be >= 1, got {channels}")
     if unaligned:
         from repro.radio.unaligned import UnalignedRadioSimulator
 
-        if loss_prob or max_bits:
+        if channels > 1:
             raise ValueError(
-                "loss injection / message-size enforcement are only "
-                "implemented on the aligned engine"
+                "multi-channel resolution is not implemented on the "
+                "unaligned engine (pick one of unaligned / channels)"
             )
         sim = UnalignedRadioSimulator(
             dep,
@@ -141,9 +144,16 @@ def build_simulator(
             wake_slots,
             rng=spawn_generator(seed, 0xC0108),
             trace=trace,
+            max_message_bits=max_bits,
+            loss_prob=loss_prob,
             offsets=offsets,
         )
     else:
+        phy = None
+        if channels > 1:
+            from repro.radio.channel import MultiChannelPhy
+
+            phy = MultiChannelPhy(channels)
         sim = RadioSimulator(
             dep,
             nodes,
@@ -152,6 +162,7 @@ def build_simulator(
             trace=trace,
             max_message_bits=max_bits,
             loss_prob=loss_prob,
+            phy=phy,
         )
     return sim, nodes
 
@@ -170,6 +181,7 @@ def run_coloring(
     per_node_params: list[Parameters] | None = None,
     unaligned: bool = False,
     offsets: np.ndarray | None = None,
+    channels: int = 1,
 ) -> ColoringResult:
     """Run the full coloring protocol on ``dep`` and return the result.
 
@@ -198,8 +210,14 @@ def run_coloring(
         Run on :class:`~repro.radio.unaligned.UnalignedRadioSimulator`
         (per-node phase offsets; the paper's "non-aligned case").
     offsets:
-        Phase offsets for the unaligned engine (uniform random when
-        omitted).
+        Phase offsets for the unaligned engine (uniform random, from a
+        spawned child generator, when omitted).
+    channels:
+        Run on a ``channels``-channel PHY
+        (:class:`~repro.radio.channel.MultiChannelPhy`: nodes hop
+        channels per slot; only same-channel transmissions interfere or
+        deliver).  ``1`` (default) is the paper's single-channel model.
+        Mutually exclusive with ``unaligned``.
     """
     if dep.n == 0:
         raise ValueError("cannot color an empty deployment")
@@ -217,10 +235,13 @@ def run_coloring(
         per_node_params=per_node_params,
         unaligned=unaligned,
         offsets=offsets,
+        channels=channels,
     )
     if max_slots is None:
         wake_max = int(sim.wake_slots.max()) if dep.n else 0
-        max_slots = suggested_max_slots(params, wake_max)
+        # Multi-channel thins the sender-listener match rate by ~1/k, so
+        # the slot budget scales with the channel count.
+        max_slots = suggested_max_slots(params, wake_max) * max(1, channels)
 
     # The decided counter makes the completion predicate O(1), so it is
     # checked every slot: the run stops at — and reports — the *exact*

@@ -13,8 +13,6 @@ Paper claims measured end-to-end:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis import interference_profile
 from repro.core import run_coloring
 from repro.experiments.runner import Table

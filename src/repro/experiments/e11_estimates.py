@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.analysis import verify_run
 from repro.core import Parameters, run_coloring
+from repro._util import stable_seed
 from repro.experiments.runner import Table, sweep_seeds
 from repro.graphs import kappas, random_udg
 
@@ -68,7 +69,7 @@ def run(*, quick: bool = True, seeds: int = 4, workers: int | None = None) -> Ta
             rows = sweep_seeds(
                 partial(_one, kind, factor, n=n, degree=degree),
                 seeds=seeds,
-                master_seed=abs(hash((kind, factor))) % 100_000,
+                master_seed=stable_seed(kind, factor, modulo=100_000),
                 workers=workers,
             )
             table.add(

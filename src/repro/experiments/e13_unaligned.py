@@ -10,6 +10,12 @@ deployments and seeds and report success rates, decision times, and the
 empirical slowdown factor — the "small constant" itself.  Reception
 rates drop (one transmission now contends with up to two neighbor
 slots), so times stretch; correctness must not.
+
+A third mode stacks independent per-reception loss on top of the
+unaligned channel (the shared :class:`~repro.radio.channel.ChannelCore`
+injects it identically on both engines), checking that the two
+degradations compose: the paired slowdown stays a small constant rather
+than compounding superlinearly.
 """
 
 from __future__ import annotations
@@ -26,9 +32,13 @@ from repro.graphs import random_udg
 __all__ = ["run"]
 
 
-def _one(unaligned: bool, seed: int, n: int, degree: float) -> dict:
+def _one(
+    unaligned: bool, loss_prob: float, seed: int, n: int, degree: float
+) -> dict:
     dep = random_udg(n, expected_degree=degree, seed=seed, connected=True)
-    res = run_coloring(dep, seed=seed ^ 0xE13, unaligned=unaligned)
+    res = run_coloring(
+        dep, seed=seed ^ 0xE13, unaligned=unaligned, loss_prob=loss_prob
+    )
     times = res.decision_times().astype(float)
     decided = times[times >= 0]
     tr = res.trace
@@ -45,11 +55,16 @@ def run(*, quick: bool = True, seeds: int = 4, workers: int | None = None) -> Ta
     table = Table("E13 aligned vs non-aligned slots (Sect. 2 robustness claim)")
     n, degree = (40, 8.0) if quick else (80, 12.0)
     results = {}
-    for mode, unaligned in (("aligned", False), ("unaligned", True)):
+    modes = (
+        ("aligned", False, 0.0),
+        ("unaligned", True, 0.0),
+        ("unaligned+loss", True, 0.05),
+    )
+    for mode, unaligned, loss_prob in modes:
         rows = sweep_seeds(
-            partial(_one, unaligned, n=n, degree=degree),
+            partial(_one, unaligned, loss_prob, n=n, degree=degree),
             seeds=seeds,
-            master_seed=17,  # same seeds for both modes: paired comparison
+            master_seed=17,  # same seeds for every mode: paired comparison
             workers=workers,
         )
         results[mode] = rows
@@ -60,29 +75,31 @@ def run(*, quick: bool = True, seeds: int = 4, workers: int | None = None) -> Ta
             t_mean=float(np.mean([r["t_mean"] for r in rows])),
             rx_per_tx=float(np.mean([r["rx_per_tx"] for r in rows])),
         )
-    paired = [
-        u["t_mean"] / a["t_mean"]
-        for a, u in zip(results["aligned"], results["unaligned"])
-        if a["t_mean"] > 0
-    ]
-    table.add(
-        engine="slowdown factor",
-        success_rate=float("nan"),
-        t_max=float("nan"),
-        t_mean=float(np.mean(paired)),
-        rx_per_tx=float(
-            np.mean(
-                [
-                    u["rx_per_tx"] / a["rx_per_tx"]
-                    for a, u in zip(results["aligned"], results["unaligned"])
-                ]
-            )
-        ),
-    )
+    for mode in ("unaligned", "unaligned+loss"):
+        paired = [
+            u["t_mean"] / a["t_mean"]
+            for a, u in zip(results["aligned"], results[mode])
+            if a["t_mean"] > 0
+        ]
+        table.add(
+            engine=f"slowdown ({mode})",
+            success_rate=float("nan"),
+            t_max=float("nan"),
+            t_mean=float(np.mean(paired)),
+            rx_per_tx=float(
+                np.mean(
+                    [
+                        u["rx_per_tx"] / a["rx_per_tx"]
+                        for a, u in zip(results["aligned"], results[mode])
+                    ]
+                )
+            ),
+        )
     table.note(
         "paper: correctness unaffected; times stretch by a small constant "
         "(each transmission contends with <= 2 slots per neighbor, so "
         "reception rates roughly halve in dense contention and the paired "
-        "t_mean ratio stays a small constant)"
+        "t_mean ratio stays a small constant); stacking 5% loss on the "
+        "unaligned channel degrades gracefully rather than compounding"
     )
     return table

@@ -5,22 +5,35 @@ network model [13, 14], we do not make the simplifying assumption of
 having several independent communication channels.  In our model, there
 is only one communication channel."*
 
-This experiment quantifies the difficulty gap that sentence buys: with
-``k`` channels and random per-slot hopping, collisions thin out while
-the chance that a listener sits on its sender's channel falls as
-``1/k``.  At the algorithm's operating point (sending probability
-``1/(kappa_2 Delta)``, i.e. a *lightly loaded* channel) collisions are
-already rare, so extra channels mostly *hurt* delivery — evidence that
-the paper gives up little by assuming one channel at its own duty
-cycle, while heavily loaded regimes (e.g. the initialization bursts
-[13, 14] care about) benefit.
+This experiment quantifies the difficulty gap that sentence buys, in
+two complementary ways:
+
+1. a **closed-form batch estimate**
+   (:func:`repro.radio.batch.multichannel_reception_rates`): with ``k``
+   channels and random per-slot hopping, collisions thin out while the
+   chance that a listener sits on its sender's channel falls as
+   ``1/k``.  At the algorithm's operating point (sending probability
+   ``1/(kappa_2 Delta)``, i.e. a *lightly loaded* channel) collisions
+   are already rare, so extra channels mostly *hurt* delivery —
+   evidence that the paper gives up little by assuming one channel at
+   its own duty cycle, while heavily loaded regimes (e.g. the
+   initialization bursts [13, 14] care about) benefit;
+2. a **steppable protocol run** on the engine's pluggable
+   :class:`~repro.radio.channel.MultiChannelPhy`: the *full coloring
+   protocol* executes with per-slot channel hopping
+   (``run_coloring(..., channels=k)``), protocol constants scaled with
+   ``k`` to compensate the thinned meeting rate.  This measures what
+   the batch estimate can only predict — whether the protocol still
+   terminates correctly, and what the ``1/k`` meeting rate costs in
+   decision time.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core import Parameters
+from repro.analysis import verify_run
+from repro.core import Parameters, run_coloring
 from repro.experiments.runner import Table
 from repro.graphs import random_udg
 from repro.radio.batch import multichannel_reception_rates
@@ -58,6 +71,36 @@ def run(*, quick: bool = True, seeds: int = 3, workers: int | None = None) -> Ta
                 collisions_per_slot=float(np.mean(rates["collision"])),
                 rx_per_tx=float(np.mean(rates["rx_per_tx"])),
             )
+    # Steppable counterpart: the full protocol on a hopping PHY.  Kept
+    # small (the 1/k meeting rate stretches runs) and paired per seed.
+    proto_n, proto_degree = (24, 6.0) if quick else (40, 8.0)
+    proto_channels = [1, 2] if quick else [1, 2, 4]
+    for k in proto_channels:
+        oks, slots_used, t_maxes = [], [], []
+        for seed in range(min(seeds, 2) if quick else seeds):
+            dep = random_udg(
+                proto_n, expected_degree=proto_degree, seed=seed, connected=True
+            )
+            params = Parameters.for_deployment(dep, scale=float(k))
+            res = run_coloring(dep, params=params, seed=seed + 170, channels=k)
+            oks.append(verify_run(res).ok)
+            slots_used.append(res.slots)
+            times = res.decision_times().astype(float)
+            decided = times[times >= 0]
+            t_maxes.append(float(decided.max()) if decided.size else float("nan"))
+        table.add(
+            load=f"protocol (scale=k, {proto_n} nodes)",
+            channels=k,
+            success_rate=float(np.mean(oks)),
+            slots=float(np.mean(slots_used)),
+            t_max=float(np.mean(t_maxes)),
+        )
+    table.note(
+        "protocol rows: the full coloring protocol stepped on "
+        "MultiChannelPhy with constants scaled by k — success stays at "
+        "the practical constants' usual small failure rate (see E1/E6) "
+        "while decision time pays roughly the 1/k meeting-rate tax"
+    )
     table.note(
         "at the algorithm's light duty cycle extra channels reduce delivery "
         "(the 1/k channel-match loss dominates the already-rare collisions), "

@@ -17,6 +17,7 @@ from functools import partial
 
 import numpy as np
 
+from repro._util import stable_seed
 from repro.experiments.runner import Table, sweep_seeds
 from repro.graphs import (
     bernoulli_fading,
@@ -75,7 +76,7 @@ def run(*, quick: bool = True, seeds: int = 3, workers: int | None = None) -> Ta
         rows = sweep_seeds(
             partial(_one_family, family, quick),
             seeds=seeds,
-            master_seed=hash(family) % 10_000,
+            master_seed=stable_seed(family),
             workers=workers,
         )
         table.add(

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.analysis import verify_run
 from repro.core import run_coloring
+from repro._util import stable_seed
 from repro.experiments.runner import Table, sweep_seeds
 from repro.graphs import random_udg
 from repro.wakeup import ALL_SCHEDULES
@@ -43,7 +44,7 @@ def run(*, quick: bool = True, seeds: int = 4, workers: int | None = None) -> Ta
         rows = sweep_seeds(
             partial(_one, schedule, n=n, degree=degree),
             seeds=seeds,
-            master_seed=abs(hash(schedule)) % 10_000,
+            master_seed=stable_seed(schedule),
             workers=workers,
         )
         table.add(

@@ -18,7 +18,6 @@ graphs while keeping ``kappa_1`` / ``kappa_2`` small:
 from __future__ import annotations
 
 import networkx as nx
-import numpy as np
 
 from repro._util import spawn_generator
 from repro.graphs.deployment import Deployment

@@ -14,7 +14,6 @@ from __future__ import annotations
 import math
 
 import networkx as nx
-import numpy as np
 from scipy.spatial import cKDTree
 
 from repro.graphs.deployment import Deployment

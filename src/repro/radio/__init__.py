@@ -20,10 +20,19 @@ Modules
 -------
 - :mod:`repro.radio.messages` — the four message types of Sect. 4;
 - :mod:`repro.radio.node` — the protocol-node interface;
+- :mod:`repro.radio.channel` — the shared channel-resolution core and
+  the pluggable PHY models (collision / multi-channel);
 - :mod:`repro.radio.engine` — the slot-stepped simulator;
+- :mod:`repro.radio.unaligned` — the non-aligned-slots variant;
 - :mod:`repro.radio.trace` — event recording and counters.
 """
 
+from repro.radio.channel import (
+    ChannelCore,
+    CollisionPhy,
+    MultiChannelPhy,
+    PhyModel,
+)
 from repro.radio.engine import RadioSimulator, SimulationResult
 from repro.radio.messages import (
     AssignMessage,
@@ -38,9 +47,13 @@ from repro.radio.trace import TraceEvent, TraceRecorder
 
 __all__ = [
     "AssignMessage",
+    "ChannelCore",
+    "CollisionPhy",
     "ColorMessage",
     "CounterMessage",
     "Message",
+    "MultiChannelPhy",
+    "PhyModel",
     "ProtocolNode",
     "RadioSimulator",
     "RequestMessage",

@@ -200,6 +200,14 @@ def multichannel_reception_rates(
     sender-listener channel-match probability drops as ``1/channels`` —
     the net effect on delivery is what the E17 bench reports.
 
+    This is the *closed-form batch estimate* of the multi-channel model:
+    independent beacons at fixed probabilities, no protocol feedback.
+    Its steppable counterpart is
+    :class:`repro.radio.channel.MultiChannelPhy`, which plugs the same
+    per-slot hopping semantics into the full simulator so entire
+    protocols run on it (``run_coloring(..., channels=k)``); E17 reports
+    both views side by side.
+
     Returns mean per-node rates: ``rx`` (receptions/slot), ``collision``
     (collided slots/slot), and ``rx_per_tx`` (deliveries per
     transmission).

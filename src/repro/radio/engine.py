@@ -11,13 +11,23 @@ Per-slot semantics (Sect. 2 of the paper):
 4. a transmitting node receives nothing, and learns nothing about who
    received it (no acknowledgements).
 
+Phases 3–4 — turning a transmission set into per-listener outcomes —
+live in :mod:`repro.radio.channel`: a pluggable :class:`~repro.radio.
+channel.PhyModel` decides who can hear whom (the default
+:class:`~repro.radio.channel.CollisionPhy` implements the rule above;
+:class:`~repro.radio.channel.MultiChannelPhy` resolves per channel) and
+the shared :class:`~repro.radio.channel.ChannelCore` applies loss
+injection, delivery, and metrics emission.  This module owns phases
+1–2: wake-up processing and the two transmission-collection paths.
+
 Performance: sending probabilities in the algorithm are ``1/(kappa_2 *
 Delta)`` (non-leaders) or ``1/kappa_2`` (leaders), so the expected number
-of transmitters per slot is small even in large networks.  The engine is
-therefore *transmitter-centric*: it touches only the neighborhoods of
-actual transmitters (sparse scatter-add into a persistent count array
-that is surgically reset afterwards) instead of scanning all ``n`` nodes
-— the "compute on what's hot" advice from the HPC guides.
+of transmitters per slot is small even in large networks.  The default
+PHY is therefore *transmitter-centric*: it touches only the
+neighborhoods of actual transmitters (sparse scatter-add into a
+persistent count array that is surgically reset afterwards) instead of
+scanning all ``n`` nodes — the "compute on what's hot" advice from the
+HPC guides.
 
 Two per-slot execution paths share those channel semantics:
 
@@ -56,13 +66,20 @@ changes three experiments later.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
-from dataclasses import dataclass
+from collections.abc import Sequence
 
 import numpy as np
 
 from repro.graphs.deployment import Deployment
-from repro.radio.messages import Message, message_bits
+from repro.radio.channel import (
+    ChannelCore,
+    CollisionPhy,
+    PhyModel,
+    SimulationResult,
+    SlotSteppedSimulator,
+    build_csr,
+)
+from repro.radio.messages import Message
 from repro.radio.node import ProtocolNode
 from repro.radio.trace import TraceRecorder
 from repro._util import RngMeter
@@ -73,34 +90,7 @@ __all__ = ["RadioSimulator", "SimulationResult", "build_csr"]
 _FAR = 1 << 62
 
 
-def build_csr(dep: Deployment) -> tuple[np.ndarray, np.ndarray]:
-    """Flatten a deployment's per-node neighbor arrays into CSR-style
-    ``(indptr, indices)`` arrays: node ``v``'s neighbors are
-    ``indices[indptr[v]:indptr[v+1]]``."""
-    nbrs = dep.neighbors
-    indptr = np.zeros(dep.n + 1, dtype=np.int64)
-    if dep.n:
-        indptr[1:] = np.cumsum([len(a) for a in nbrs])
-    indices = (
-        np.concatenate(nbrs) if dep.n and indptr[-1] else np.empty(0, dtype=np.int64)
-    )
-    return indptr, indices.astype(np.int64, copy=False)
-
-
-@dataclass
-class SimulationResult:
-    """Outcome of :meth:`RadioSimulator.run`."""
-
-    slots: int
-    stopped_early: bool
-    trace: TraceRecorder
-
-    @property
-    def timed_out(self) -> bool:
-        return not self.stopped_early
-
-
-class RadioSimulator:
+class RadioSimulator(SlotSteppedSimulator):
     """Drives a set of :class:`ProtocolNode` objects over a deployment.
 
     Parameters
@@ -136,6 +126,10 @@ class RadioSimulator:
         for batched populations (conformance and benchmark comparisons);
         ``True`` demands the fast path and raises if any node lacks the
         interface.
+    phy:
+        Channel model resolving each slot's transmission set
+        (:class:`~repro.radio.channel.PhyModel`); defaults to the paper's
+        single-channel :class:`~repro.radio.channel.CollisionPhy`.
     """
 
     def __init__(
@@ -148,6 +142,7 @@ class RadioSimulator:
         max_message_bits: int | None = None,
         loss_prob: float = 0.0,
         vectorized: bool | None = None,
+        phy: PhyModel | None = None,
     ) -> None:
         n = deployment.n
         if len(nodes) != n:
@@ -167,28 +162,29 @@ class RadioSimulator:
         self.rng = rng if isinstance(rng, RngMeter) else RngMeter(rng)
         self.trace = trace if trace is not None else TraceRecorder(n)
         self.max_message_bits = max_message_bits
-        if not 0.0 <= loss_prob < 1.0:
-            raise ValueError(f"loss_prob must be in [0, 1), got {loss_prob}")
         self.loss_prob = loss_prob
-        # Loss injection must not perturb the protocol stream: spawning a
-        # child consumes no draws from ``rng``, so the protocol trajectory
-        # at a fixed seed is identical at any loss_prob.
-        self._loss_rng = RngMeter(self.rng.spawn(1)[0]) if loss_prob > 0.0 else None
+        # The core spawns the loss child (first spawn off the protocol
+        # stream) and owns delivery; the PHY spawns any side stream of its
+        # own at bind, strictly after — a fixed spawn order shared by
+        # every simulator, so lockstep paths see identical child streams.
+        self.core = ChannelCore(
+            self.nodes,
+            self.trace,
+            self.rng,
+            loss_prob=loss_prob,
+            max_message_bits=max_message_bits,
+            id_space=n,
+        )
+        self.phy = phy if phy is not None else CollisionPhy()
+        self.phy.bind(self)
 
         self.slot = 0
         self._neighbors = deployment.neighbors
-        # CSR-style adjacency: flat arrays the hot loop can slice without
-        # touching a Python list of per-node arrays.
-        self._indptr, self._indices = build_csr(deployment)
         # Wake order: nodes grouped by wake slot for O(1) wake processing.
         order = np.argsort(self.wake_slots, kind="stable")
         self._wake_order = order
         self._next_wake = 0  # index into _wake_order
         self._awake: list[int] = []
-        # Channel state, persistent across slots, reset sparsely.
-        self._recv_count = np.zeros(n, dtype=np.int64)
-        self._incoming: list[Message | None] = [None] * n
-        self._transmitting = np.zeros(n, dtype=bool)
         # Vectorized fast path (engaged only when every node opts in):
         # dense per-node send probabilities and next scheduled event slots,
         # refreshed whenever a node's state can have changed.
@@ -205,6 +201,7 @@ class RadioSimulator:
         if self.vectorized:
             self._p = np.zeros(n, dtype=np.float64)
             self._evt = np.full(n, _FAR, dtype=np.int64)
+            self.core.on_deliver = self._on_deliver
 
     # ------------------------------------------------------------------
     @property
@@ -217,6 +214,10 @@ class RadioSimulator:
         node = self.nodes[v]
         self._p[v] = node.tx_prob()
         self._evt[v] = node.next_event_slot()
+
+    def _on_deliver(self, u: int, msg: Message) -> None:
+        """Core delivery hook: a delivery can change a node's state."""
+        self._refresh(int(u))
 
     def _wake_due(self, t: int) -> None:
         """Phase 1: wake nodes whose wake slot is ``t``."""
@@ -236,10 +237,11 @@ class RadioSimulator:
         outbox: list[tuple[int, Message]] = []
         rng = self.rng
         nodes = self.nodes
+        record_tx = self.core.record_tx
         for v in self._awake:
             msg = nodes[v].step(t, rng)
             if msg is not None:
-                self._record_tx(t, v, msg, outbox)
+                record_tx(t, v, msg, outbox)
         return outbox
 
     def _collect_vectorized(self, t: int) -> list[tuple[int, Message]]:
@@ -256,83 +258,13 @@ class RadioSimulator:
         u = self.rng.random(len(nodes))
         fire = np.nonzero(u < self._p)[0]
         outbox: list[tuple[int, Message]] = []
+        record_tx = self.core.record_tx
         for v in fire:
             v = int(v)
             msg = nodes[v].emit(t)
             if msg is not None:
-                self._record_tx(t, v, msg, outbox)
+                record_tx(t, v, msg, outbox)
         return outbox
-
-    def _record_tx(
-        self, t: int, v: int, msg: Message, outbox: list[tuple[int, Message]]
-    ) -> None:
-        if self.max_message_bits is not None:
-            bits = message_bits(msg, self.deployment.n)
-            if bits > self.max_message_bits:
-                raise RuntimeError(
-                    f"slot {t}: node {v} sent a {bits}-bit message, "
-                    f"exceeding the {self.max_message_bits}-bit bound"
-                )
-        outbox.append((v, msg))
-        self.trace.tx(t, v, msg)
-
-    def _resolve_and_deliver(
-        self, t: int, outbox: list[tuple[int, Message]]
-    ) -> tuple[int, int, int]:
-        """Phases 3 + 4: transmitter-centric collision resolution, then
-        deliveries to awake, listening nodes with exactly one transmitting
-        neighbor; collisions recorded for the rest.
-
-        Touched listeners are processed in **ascending node order**: the
-        set of deliveries is order-independent, but the loss stream is
-        consumed one draw per successful reception, so a canonical order
-        makes loss outcomes (and trace event order) a function of the
-        slot's transmission *set* — not of which execution path emitted
-        the transmissions in which sequence.  Returns this slot's
-        ``(deliveries, collisions, injected losses)``.
-        """
-        recv_count = self._recv_count
-        incoming = self._incoming
-        transmitting = self._transmitting
-        indptr, indices = self._indptr, self._indices
-        nodes = self.nodes
-        touched: list[int] = []
-        for v, msg in outbox:
-            transmitting[v] = True
-            for u in indices[indptr[v] : indptr[v + 1]]:
-                if recv_count[u] == 0:
-                    touched.append(u)
-                    incoming[u] = msg
-                recv_count[u] += 1
-        touched.sort()
-
-        delivered = collided = lost = 0
-        vectorized = self.vectorized
-        for u in touched:
-            c = recv_count[u]
-            if nodes[u].awake and not transmitting[u]:
-                if c == 1:
-                    if (
-                        self._loss_rng is not None
-                        and self._loss_rng.random() < self.loss_prob
-                    ):
-                        lost += 1  # injected fading loss: silent, like a collision
-                    else:
-                        msg = incoming[u]
-                        assert msg is not None
-                        nodes[u].deliver(t, msg)
-                        self.trace.rx(t, u, msg)
-                        delivered += 1
-                        if vectorized:
-                            self._refresh(int(u))
-                else:
-                    self.trace.collision(t, u, int(c))
-                    collided += 1
-            recv_count[u] = 0
-            incoming[u] = None
-        for v, _ in outbox:
-            transmitting[v] = False
-        return delivered, collided, lost
 
     def step(self) -> None:
         """Advance the network by one slot (and record its channel
@@ -340,14 +272,14 @@ class RadioSimulator:
         and the RNG draws each stream consumed)."""
         t = self.slot
         draws0 = self.rng.draws
-        loss0 = self._loss_rng.draws if self._loss_rng is not None else 0
+        loss0 = self.core.loss_draws
         self._wake_due(t)
         if self.vectorized:
             outbox = self._collect_vectorized(t)
         else:
             outbox = self._collect_classic(t)
-        delivered, collided, lost = self._resolve_and_deliver(t, outbox)
-        loss1 = self._loss_rng.draws if self._loss_rng is not None else 0
+        candidates = self.phy.resolve(t, outbox)
+        delivered, collided, lost = self.core.deliver(t, candidates)
         self.trace.channel(
             t,
             tx=len(outbox),
@@ -355,40 +287,6 @@ class RadioSimulator:
             collisions=collided,
             lost=lost,
             protocol_draws=self.rng.draws - draws0,
-            loss_draws=loss1 - loss0,
+            loss_draws=self.core.loss_draws - loss0,
         )
         self.slot = t + 1
-
-    def run(
-        self,
-        max_slots: int,
-        stop_when: Callable[["RadioSimulator"], bool] | None = None,
-        check_every: int = 16,
-    ) -> SimulationResult:
-        """Run until ``stop_when`` holds (checked every ``check_every``
-        slots, and only after all nodes have woken) or ``max_slots`` pass.
-
-        ``check_every`` amortizes expensive stop predicates, at the cost
-        of overshooting the exact completion slot by up to ``check_every
-        - 1`` simulated slots (the reported ``slots`` then includes the
-        overshoot).  Callers with an O(1) predicate — e.g. one backed by
-        :attr:`TraceRecorder.decided <repro.radio.trace.TraceRecorder>` —
-        should pass ``check_every=1`` to stop on, and report, the exact
-        slot the condition first held.
-        """
-        if check_every < 1:
-            raise ValueError(f"check_every must be >= 1, got {check_every}")
-        stopped = False
-        while self.slot < max_slots:
-            self.step()
-            if (
-                stop_when is not None
-                and self.all_woken
-                and self.slot % check_every == 0
-                and stop_when(self)
-            ):
-                stopped = True
-                break
-        if not stopped and stop_when is not None and self.all_woken and stop_when(self):
-            stopped = True
-        return SimulationResult(slots=self.slot, stopped_early=stopped, trace=self.trace)

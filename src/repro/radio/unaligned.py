@@ -34,19 +34,36 @@ its slot ``k+1`` (a smaller-offset neighbor's ``k+1`` transmission
 reaches back into it), so the engine keeps three rolling contribution
 buffers — slots ``t-1``, ``t``, ``t+1`` — while executing global step
 ``t``, and finalizes slot ``t-1`` at the end of the step.
+
+Delivery, loss injection, message-size enforcement, and draw metering
+are *not* reimplemented here: the rolling buffers only decide overlap
+counts, then hand candidate rows to the shared
+:class:`~repro.radio.channel.ChannelCore` — the same core the aligned
+engine uses — which applies the delivery law, the loss stream (a child
+generator, so ``loss_prob`` never perturbs the protocol trajectory at a
+fixed seed), and the trace events.
+
+Metrics lag convention: because slot ``k`` is finalized during step
+``k + 1``, its :class:`~repro.radio.trace.ChannelMetrics` row is emitted
+one step late — the row for slot ``k`` carries slot ``k``'s transmitter
+count and protocol draws (stashed when step ``k`` ran) together with
+slot ``k``'s delivery/collision/loss outcomes (known at finalize).  After
+``s`` steps the recorder holds ``s - 1`` rows; the final slot's row is
+never finalized (its successor step never runs).
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
 from repro.graphs.deployment import Deployment
-from repro.radio.engine import SimulationResult
+from repro.radio.channel import ChannelCore, SlotSteppedSimulator
 from repro.radio.messages import Message
 from repro.radio.node import ProtocolNode
 from repro.radio.trace import TraceRecorder
+from repro._util import RngMeter
 
 __all__ = ["UnalignedRadioSimulator"]
 
@@ -73,13 +90,16 @@ class _SlotBuffer:
             self.msg[i] = None
 
 
-class UnalignedRadioSimulator:
+class UnalignedRadioSimulator(SlotSteppedSimulator):
     """Slot-stepped simulator with per-node phase offsets.
 
     Parameters match :class:`~repro.radio.engine.RadioSimulator` plus
-    ``offsets``: an ``(n,)`` float array in ``[0, 1)`` (drawn uniformly
-    from the engine RNG when omitted).  ``wake_slots`` are node-local
-    slot indices, as before.
+    ``offsets``: an ``(n,)`` float array in ``[0, 1)``.  When omitted,
+    offsets are drawn from a *child generator* spawned off the protocol
+    stream — never from the protocol stream itself, so omitting
+    ``offsets`` does not shift the protocol trajectory at a fixed seed
+    (same determinism contract as loss injection).  ``wake_slots`` are
+    node-local slot indices, as before.
     """
 
     def __init__(
@@ -89,6 +109,8 @@ class UnalignedRadioSimulator:
         wake_slots: Sequence[int] | np.ndarray,
         rng: np.random.Generator,
         trace: TraceRecorder | None = None,
+        max_message_bits: int | None = None,
+        loss_prob: float = 0.0,
         offsets: np.ndarray | None = None,
     ) -> None:
         n = deployment.n
@@ -104,10 +126,27 @@ class UnalignedRadioSimulator:
             raise ValueError(f"wake_slots must have shape ({n},)")
         if n and self.wake_slots.min() < 0:
             raise ValueError("wake slots must be non-negative")
-        self.rng = rng
+        self.rng = rng if isinstance(rng, RngMeter) else RngMeter(rng)
         self.trace = trace if trace is not None else TraceRecorder(n)
+        self.max_message_bits = max_message_bits
+        self.loss_prob = loss_prob
+        # Core first: the loss child is always the protocol stream's first
+        # spawn, exactly as on the aligned engine, so the loss stream of a
+        # run with explicit offsets matches the aligned engine's at the
+        # same seed (the conformance lockstep relies on this).
+        self.core = ChannelCore(
+            self.nodes,
+            self.trace,
+            self.rng,
+            loss_prob=loss_prob,
+            max_message_bits=max_message_bits,
+            id_space=n,
+        )
+        self.core.on_deliver = self._on_deliver
         if offsets is None:
-            offsets = rng.uniform(0.0, 1.0, size=n)
+            # Child generator, not the protocol stream: the default-offsets
+            # convenience must not shift protocol draws (regression-tested).
+            offsets = self.rng.spawn(1)[0].uniform(0.0, 1.0, size=n)
         self.offsets = np.asarray(offsets, dtype=float)
         if self.offsets.shape != (n,):
             raise ValueError(f"offsets must have shape ({n},)")
@@ -128,6 +167,11 @@ class UnalignedRadioSimulator:
         # (Relies on protocols returning a fresh message object per
         # transmission, which all nodes in this library do.)
         self._just_delivered: list[Message | None] = [None] * n
+        self._delivered_now: list[tuple[int, Message]] = []
+        # Metrics lag: slot t's tx count and protocol draws, emitted with
+        # slot t's outcomes when step t+1 finalizes it.
+        self._pending_tx = 0
+        self._pending_draws = 0
 
     # ------------------------------------------------------------------
     @property
@@ -136,13 +180,21 @@ class UnalignedRadioSimulator:
             return True
         return bool((self.wake_slots <= self.slot).all())
 
+    def _on_deliver(self, u: int, msg: Message) -> None:
+        """Core delivery hook: track decodes for double-overlap dedup."""
+        self._delivered_now.append((u, msg))
+
     def step(self) -> None:
-        """Execute every node's slot ``t``, then finalize slot ``t-1``."""
+        """Execute every node's slot ``t``, then finalize slot ``t-1``
+        (emitting slot ``t-1``'s channel-metrics row)."""
         t = self.slot
         nodes = self.nodes
         offsets = self.offsets
         rng = self.rng
         prev, cur = self._prev, self._cur
+        record_tx = self.core.record_tx
+        draws0 = rng.draws
+        outbox: list[tuple[int, Message]] = []
 
         for v in self._order:
             node = nodes[v]
@@ -154,7 +206,7 @@ class UnalignedRadioSimulator:
             msg = node.step(t, rng)
             if msg is None:
                 continue
-            self.trace.tx(t, v, msg)
+            record_tx(t, v, msg, outbox)
             cur.tx[v] = True  # v cannot receive in its own slot t
             phi_v = offsets[v]
             for u in self._neighbors[v]:
@@ -167,57 +219,54 @@ class UnalignedRadioSimulator:
                 else:
                     prev.add(u, msg)
                     cur.add(u, msg)
+        step_draws = rng.draws - draws0
 
         if t >= 1:
-            self._finalize(prev, t - 1)
+            loss0 = self.core.loss_draws
+            delivered, collided, lost = self._finalize(prev, t - 1)
+            self.trace.channel(
+                t - 1,
+                tx=self._pending_tx,
+                rx=delivered,
+                collisions=collided,
+                lost=lost,
+                protocol_draws=self._pending_draws,
+                loss_draws=self.core.loss_draws - loss0,
+            )
+        self._pending_tx = len(outbox)
+        self._pending_draws = step_draws
 
         # Rotate: prev <- cur, cur <- nxt, nxt <- recycled prev.
         prev.reset()
         self._prev, self._cur, self._nxt = self._cur, self._nxt, prev
         self.slot = t + 1
 
-    def _finalize(self, buf: _SlotBuffer, k: int) -> None:
-        """Deliver slot-``k`` receptions: exactly one overlapping
-        transmission, listener awake (in slot k) and not transmitting."""
-        nodes = self.nodes
-        delivered_now: list[tuple[int, Message]] = []
+    def _finalize(self, buf: _SlotBuffer, k: int) -> tuple[int, int, int]:
+        """Resolve slot ``k``'s contribution buffer through the core.
+
+        Builds the candidate rows (ascending listener order, as the PHY
+        contract demands) and lets :meth:`ChannelCore.deliver` apply the
+        delivery law and loss injection.  A listener is eligible iff it
+        was awake in slot ``k`` and did not itself transmit then; the
+        second overlap of an already-decoded transmission is dropped
+        before the core sees it (it must neither re-deliver nor consume
+        a loss draw for a decode that already happened).
+        """
+        just = self._just_delivered
+        wake_slots = self.wake_slots
+        candidates: list[tuple[int, int, Message | None, bool]] = []
         for u in np.flatnonzero(buf.count):
             u = int(u)
-            if self.wake_slots[u] > k or buf.tx[u]:
-                continue
-            if buf.count[u] == 1:
-                msg = buf.msg[u]
-                assert msg is not None
-                if msg is self._just_delivered[u]:
-                    continue  # second overlap of an already-decoded tx
-                nodes[u].deliver(k, msg)
-                self.trace.rx(k, u, msg)
-                delivered_now.append((u, msg))
-            else:
-                self.trace.collision(k, u, int(buf.count[u]))
+            count = int(buf.count[u])
+            msg = buf.msg[u]
+            if count == 1 and msg is just[u]:
+                continue  # second overlap of an already-decoded tx
+            eligible = wake_slots[u] <= k and not buf.tx[u]
+            candidates.append((u, count, msg, eligible))
+        self._delivered_now.clear()
+        delivered, collided, lost = self.core.deliver(k, candidates)
         new_last: list[Message | None] = [None] * self.deployment.n
-        for u, msg in delivered_now:
+        for u, msg in self._delivered_now:
             new_last[u] = msg
         self._just_delivered = new_last
-
-    def run(
-        self,
-        max_slots: int,
-        stop_when: Callable[["UnalignedRadioSimulator"], bool] | None = None,
-        check_every: int = 16,
-    ) -> SimulationResult:
-        """Same contract as :meth:`RadioSimulator.run`."""
-        stopped = False
-        while self.slot < max_slots:
-            self.step()
-            if (
-                stop_when is not None
-                and self.all_woken
-                and self.slot % check_every == 0
-                and stop_when(self)
-            ):
-                stopped = True
-                break
-        if not stopped and stop_when is not None and self.all_woken and stop_when(self):
-            stopped = True
-        return SimulationResult(slots=self.slot, stopped_early=stopped, trace=self.trace)
+        return delivered, collided, lost

@@ -1,7 +1,5 @@
 """Tests for state-timeline reconstruction."""
 
-import pytest
-
 from repro.analysis import sojourn_times, state_timelines
 from repro.radio import TraceRecorder
 

@@ -1,7 +1,6 @@
 """Tests for run verification (Theorem 2 temporal independence etc.)."""
 
 import numpy as np
-import pytest
 
 from repro import run_coloring
 from repro.analysis import (

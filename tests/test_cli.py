@@ -45,6 +45,32 @@ class TestColor:
         with pytest.raises(SystemExit):
             main(["color", "--schedule", "mystery"])
 
+    def test_unaligned_flag_composes_with_loss(self, capsys):
+        rc = main(
+            ["color", "--n", "20", "--degree", "6", "--seed", "3",
+             "--unaligned", "--loss", "0.05"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "proper" in out
+
+    def test_channels_flag_runs_multichannel(self, capsys):
+        """--channels K runs the full protocol on a hopping PHY with
+        constants auto-scaled by K (unscaled constants fail routinely at
+        the 1/K meeting rate)."""
+        rc = main(["color", "--n", "24", "--degree", "6", "--seed", "7",
+                   "--channels", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "proper" in out
+
+    def test_channels_rejected_on_unaligned(self):
+        with pytest.raises(ValueError, match="unaligned"):
+            main(
+                ["color", "--n", "20", "--degree", "6", "--seed", "3",
+                 "--unaligned", "--channels", "2"]
+            )
+
 
 class TestColorMetrics:
     def test_metrics_flag_prints_channel_block(self, capsys):
@@ -106,6 +132,29 @@ class TestConform:
     def test_rejects_unknown_family(self):
         with pytest.raises(SystemExit):
             main(["conform", "--family", "hypercube"])
+
+    def test_phy_replay_unaligned(self, capsys):
+        rc = main(
+            ["conform", "--family", "udg", "--n", "12", "--degree", "5",
+             "--seed", "4000", "--phy", "unaligned", "--max-slots", "80"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "1/1 scenarios conform" in out
+
+    def test_phy_replay_multichannel(self, capsys):
+        rc = main(
+            ["conform", "--family", "udg", "--n", "12", "--degree", "5",
+             "--seed", "4100", "--phy", "multichannel", "--channels", "2",
+             "--param-scale", "2", "--max-slots", "120"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "slot budget hit" in out
+
+    def test_rejects_unknown_phy(self):
+        with pytest.raises(SystemExit):
+            main(["conform", "--phy", "sinr"])
 
 
 class TestExperiment:

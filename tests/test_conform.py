@@ -19,6 +19,7 @@ import numpy as np
 import pytest
 
 from repro.conform import (
+    PHY_MATRIX,
     SCENARIO_MATRIX,
     LateActivationNode,
     OffByOneCounterNode,
@@ -27,9 +28,9 @@ from repro.conform import (
     build_lockstep,
     fuzz,
     localize_slot,
+    phy_matrix,
     quick_matrix,
     random_scenarios,
-    run_lockstep,
     run_matrix,
     run_scenario,
 )
@@ -92,6 +93,56 @@ class TestEquivalenceMatrix:
         assert [r.classic_totals for r in serial] == [
             r.classic_totals for r in parallel
         ]
+
+
+class TestPhyMatrix:
+    """The pinned non-default-PHY scenarios: unaligned vs aligned, and
+    both engine paths on a multi-channel PHY."""
+
+    @pytest.mark.parametrize(
+        "scenario", phy_matrix(), ids=_labels(phy_matrix())
+    )
+    def test_paths_conform(self, scenario):
+        report = run_scenario(scenario)
+        assert report.ok, report.describe()
+        for name in ("tx", "rx", "collisions", "lost"):
+            assert report.classic_totals[name] == report.vectorized_totals[name]
+
+    def test_matrix_covers_new_paths(self):
+        phys = {s.phy for s in PHY_MATRIX}
+        assert phys == {"unaligned", "multichannel"}
+        # Loss exercised on the unaligned path (shared loss-child streams).
+        assert any(s.phy == "unaligned" and s.loss_prob > 0 for s in PHY_MATRIX)
+        # More than two channels exercised at least once.
+        assert any(s.channels >= 3 for s in PHY_MATRIX)
+        assert len({s.seed for s in PHY_MATRIX}) == len(PHY_MATRIX)
+
+    def test_unaligned_comparison_includes_draw_counters(self):
+        """The unaligned lockstep compares all six metric columns —
+        protocol and loss draw counts included — so stream-coupling
+        regressions on either engine surface as divergences."""
+        report = run_scenario(PHY_MATRIX[1])  # unaligned, loss=0.1
+        assert report.ok
+        assert report.classic_totals["loss_draws"] > 0
+        assert report.classic_totals == report.vectorized_totals
+
+    def test_scenario_phy_validation(self):
+        with pytest.raises(ValueError, match="phy"):
+            Scenario(phy="sinr")
+        with pytest.raises(ValueError, match="channels"):
+            Scenario(channels=0)
+        with pytest.raises(ValueError, match="multichannel"):
+            Scenario(channels=2)  # channels > 1 needs phy='multichannel'
+        with pytest.raises(ValueError):
+            Scenario(phy="unaligned", channels=2)
+
+    def test_phy_fields_in_label_and_replay(self):
+        s = Scenario(phy="multichannel", channels=2, param_scale=2.0)
+        assert "phy=multichannel" in s.label() and "k=2" in s.label()
+        assert "--phy multichannel" in s.cli_args()
+        assert "--channels 2" in s.cli_args()
+        # Default-phy labels are unchanged (pinned in reports and ids).
+        assert "phy=" not in SCENARIO_MATRIX[0].label()
 
 
 @pytest.mark.conform

@@ -1,6 +1,5 @@
 """Tests for standalone leader election (MIS from scratch)."""
 
-import numpy as np
 import pytest
 
 from repro.core import run_mis

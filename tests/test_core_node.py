@@ -5,10 +5,9 @@ directly with a deterministic fake RNG (geometric always 1, i.e. a node
 transmits at every opportunity) so each pseudocode line can be pinned.
 """
 
-import numpy as np
 import pytest
 
-from repro.core import ColoringNode, Parameters, Phase
+from repro.core import ColoringNode, Parameters
 from repro.radio import AssignMessage, ColorMessage, CounterMessage, RequestMessage
 
 

@@ -7,8 +7,6 @@ quantities satisfy the claims' hard bounds where those are deterministic
 (kappa bounds, Lemma 1, etc.).
 """
 
-import pytest
-
 from repro.experiments import (
     e1_correctness,
     e3_colors,

@@ -79,6 +79,59 @@ class TestGoldenColoring:
         }
         assert totals["loss_draws"] == totals["rx"] + totals["lost"]
 
+    def test_unaligned_lossy_run_pinned(self):
+        """The unaligned simulator's whole-run outcome, loss included.
+
+        Pins the full spawn discipline of the refactored channel core on
+        the unaligned path: the loss child is the first spawn off the
+        protocol stream, the offsets child the second (drawn only
+        because offsets are omitted here), and each otherwise-successful
+        reception costs exactly one loss draw — so loss_draws ==
+        rx + lost even though the two-buffer overlap lets a message lost
+        in its first slot still be decoded in its second."""
+        dep = random_udg(30, expected_degree=7, seed=2, connected=True)
+        res = run_coloring(dep, seed=21, unaligned=True, loss_prob=0.1)
+        s = res.summary()
+        assert s["completed"] and s["proper"]
+        assert s["colors"] == 11
+        assert s["slots"] == 5421
+        assert s["T_max"] == 5420
+        totals = res.trace.channel_metrics.totals()
+        assert totals == {
+            "tx": 7284,
+            "rx": 23724,
+            "collisions": 11463,
+            "lost": 2596,
+            "protocol_draws": 7395,
+            "loss_draws": 26320,
+        }
+        assert totals["loss_draws"] == totals["rx"] + totals["lost"]
+
+    def test_multichannel_run_pinned(self):
+        """The full protocol on a 2-channel hopping PHY, pinned.
+
+        The hop stream is a side stream metered on the PHY object, not a
+        ChannelMetrics column, so loss_draws stays 0 here; constants are
+        scaled with the channel count (the meeting rate drops as 1/k)."""
+        from repro.core import Parameters
+
+        dep = random_udg(30, expected_degree=7, seed=2, connected=True)
+        params = Parameters.for_deployment(dep, scale=2.0)
+        res = run_coloring(dep, params=params, seed=81, channels=2)
+        s = res.summary()
+        assert s["completed"] and s["proper"]
+        assert s["colors"] == 10
+        assert s["slots"] == 9132
+        totals = res.trace.channel_metrics.totals()
+        assert totals == {
+            "tx": 12883,
+            "rx": 25243,
+            "collisions": 1481,
+            "lost": 0,
+            "protocol_draws": 12989,
+            "loss_draws": 0,
+        }
+
     def test_ring_colors_pinned(self):
         res = run_coloring(ring_deployment(10), seed=3)
         res2 = run_coloring(ring_deployment(10), seed=3)

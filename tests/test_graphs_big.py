@@ -1,6 +1,5 @@
 """Tests for generalized BIG generators (quasi-UDG, obstacles, fading)."""
 
-import networkx as nx
 import numpy as np
 import pytest
 

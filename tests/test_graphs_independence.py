@@ -1,7 +1,6 @@
 """Tests for kappa_1 / kappa_2 and exact MIS computation."""
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

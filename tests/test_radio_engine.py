@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.graphs import path_deployment, ring_deployment, star_deployment
-from repro.radio import RadioSimulator, TraceRecorder
+from repro.radio import RadioSimulator
 
 from .conftest import BeaconNode, ListenerNode
 

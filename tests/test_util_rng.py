@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro._util import RngStream, spawn_generator
+from repro._util import RngStream, spawn_generator, stable_seed
 
 
 class TestSpawnGenerator:
@@ -40,3 +40,37 @@ class TestRngStream:
         for _ in range(5):
             seed = s.child_seed()
             assert 0 <= seed < 2**63
+
+
+class TestStableSeed:
+    """Regression for the PYTHONHASHSEED trap: experiment master seeds
+    derived from ``hash(str)`` differed between a sweep's parent process
+    and its spawned workers (and between runs), silently breaking the
+    tables-identical-at-any-worker-count contract.  ``stable_seed`` must
+    be process-independent."""
+
+    def test_known_values_pinned(self):
+        # Pinned across interpreters and runs (CRC-32 of repr(parts)).
+        import subprocess
+        import sys
+
+        code = (
+            "from repro._util import stable_seed;"
+            "print(stable_seed('udg'), stable_seed('sync', 1.5, modulo=100_000))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "12345"},
+        ).stdout.split()
+        assert [int(x) for x in out] == [
+            stable_seed("udg"),
+            stable_seed("sync", 1.5, modulo=100_000),
+        ]
+
+    def test_distinct_parts_distinct_seeds(self):
+        seeds = {stable_seed(f) for f in ("udg", "quasi_udg", "walls", "fading")}
+        assert len(seeds) == 4
+
+    def test_modulo_bounds(self):
+        assert 0 <= stable_seed("x", modulo=7) < 7
