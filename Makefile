@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction harness.
 
-.PHONY: install test lint bench bench-smoke conform full-bench report tour clean
+.PHONY: install test lint bench bench-smoke bench-json bench-check conform full-bench report tour clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -30,7 +30,22 @@ bench:
 # from a clean checkout (no `make install` needed).
 bench-smoke:
 	PYTHONPATH=src pytest benchmarks/bench_engine_microbench.py \
+	  benchmarks/bench_engine_blocks.py \
 	  benchmarks/bench_e1_correctness.py --benchmark-only -q
+
+# Regenerate the committed engine-path baseline (BENCH_engine.json at
+# the repo root): classic vs per-slot-vectorized vs block-stepped on
+# the sparse-deployment cold-start workload, n in {100, 400, 1600}.
+# Commit the refreshed JSON together with whatever engine change
+# motivated it; CI guards it via scripts/check_bench.py.
+bench-json:
+	PYTHONPATH=src python -m repro.experiments.engine_bench --out BENCH_engine.json
+
+# Re-run the engine benchmark and compare against the committed
+# baseline (2x wall-clock tolerance; >= 3x committed and >= 2x fresh
+# blocked-vs-per-slot speedup on the n=1600 cell).
+bench-check:
+	PYTHONPATH=src python scripts/check_bench.py
 
 # Full-scale experiment sweeps (slow; writes benchmarks/results/full/).
 full-bench:

@@ -124,6 +124,37 @@ class RngMeter:
         self._count(size)
         return self.generator.exponential(scale, size)
 
+    def fill(self, out: np.ndarray) -> np.ndarray:
+        """Metered in-place :meth:`numpy.random.Generator.random` (``out=``).
+
+        Fills ``out`` (C-contiguous float64) with uniforms, consuming the
+        stream exactly like ``random(out.size)`` — same variates, same
+        post-call state — but without allocating.  The block-stepped
+        engine path reuses one buffer across segment draws; fresh
+        multi-megabyte allocations per segment cost ~3x the generator's
+        own throughput in page faults.
+        """
+        self.calls += 1
+        self.draws += int(out.size)
+        return self.generator.random(out=out)
+
+    def skip(self, count: int) -> None:
+        """Consume ``count`` ``random()`` variates without generating them.
+
+        Advances the underlying PCG64 state by exactly ``count`` steps —
+        :meth:`numpy.random.Generator.random` consumes one 64-bit output
+        per double, so the post-skip state is bit-identical to the state
+        after ``random(count)`` — and meters the draws as consumed.  The
+        engine's block-stepped path uses this to fast-forward spans in
+        which no node can transmit (every send probability is zero):
+        the uniforms would be compared against 0.0 and discarded, so the
+        stream is advanced, not generated.  Only valid for bit
+        generators supporting ``advance`` (PCG64, the library default).
+        """
+        self.calls += 1
+        self.draws += int(count)
+        self.generator.bit_generator.advance(int(count))
+
     # -- unmetered structural methods -----------------------------------
     def spawn(self, n_children: int) -> list[np.random.Generator]:
         """Spawn independent children (consumes no draws; not metered)."""

@@ -99,6 +99,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="parameter regime",
     )
     color.add_argument(
+        "--block", type=int, default=1, metavar="B",
+        help="block-stepped execution: advance up to B slots per engine "
+        "chunk (B > 1 selects the batched node class so the vectorized "
+        "fast path engages; results are identical at any B)",
+    )
+    color.add_argument(
         "--metrics", action="store_true",
         help="also print per-slot channel metrics (totals, peaks, RNG "
         "draws per stream)",
@@ -183,6 +189,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--channels", type=int, default=1, metavar="K",
         help="channel count for --phy multichannel",
     )
+    conform.add_argument(
+        "--block", type=int, default=0, metavar="B",
+        help="compare the vectorized engine's block-stepped mode "
+        "(step_block with blocks of B slots) against its per-slot "
+        "stepping instead of the classic-vs-vectorized comparison "
+        "(0 = off)",
+    )
 
     sub.add_parser("list", help="list available experiments")
     return parser
@@ -196,6 +209,16 @@ def _cmd_color(args) -> int:
 
     dep = random_udg(args.n, expected_degree=args.degree, seed=args.seed)
     print(f"deployment: {dep.describe()}")
+    if args.block < 1:
+        print("--block must be >= 1", file=sys.stderr)
+        return 2
+    run_kwargs = {}
+    if args.block > 1:
+        from repro.core.vector_node import BernoulliColoringNode
+
+        # Block-stepping pays off on the vectorized fast path, which
+        # needs the batched node interface; same protocol, same paper.
+        run_kwargs = {"block": args.block, "node_cls": BernoulliColoringNode}
     scale_kwargs = {}
     if args.channels > 1 and args.regime == "practical":
         # Hopping thins the meeting rate by 1/k; scale the constants
@@ -212,6 +235,7 @@ def _cmd_color(args) -> int:
         loss_prob=args.loss,
         unaligned=args.unaligned,
         channels=args.channels,
+        **run_kwargs,
     )
     for k, v in result.summary().items():
         print(f"  {k}: {v}")
@@ -244,6 +268,7 @@ def _cmd_conform(args) -> int:
         SCENARIO_MATRIX,
         OffByOneCounterNode,
         Scenario,
+        block_matrix,
         fuzz,
         phy_matrix,
         quick_matrix,
@@ -265,6 +290,7 @@ def _cmd_conform(args) -> int:
             param_scale=args.param_scale,
             phy=args.phy,
             channels=args.channels,
+            block=args.block,
         )
         reports = [
             run_scenario(
@@ -279,7 +305,7 @@ def _cmd_conform(args) -> int:
             # keep the self-test on the default-PHY matrix.
             matrix = SCENARIO_MATRIX
         else:
-            matrix = SCENARIO_MATRIX + phy_matrix()
+            matrix = SCENARIO_MATRIX + phy_matrix() + block_matrix()
         if broken is not None:
             # The broken class must reach run_lockstep, so run serially.
             reports = [

@@ -28,23 +28,27 @@ from repro.conform.lockstep import (
     SourcedBeaconNode,
     StepShimNode,
     build_lockstep,
+    run_block_lockstep,
     run_lockstep,
     run_unaligned_lockstep,
 )
 from repro.conform.runner import FuzzResult, fuzz, run_matrix, run_scenario
 from repro.conform.scenarios import (
+    BLOCK_MATRIX,
     FAMILIES,
     PHY_MATRIX,
     PHYS,
     SCENARIO_MATRIX,
     SCHEDULES,
     Scenario,
+    block_matrix,
     phy_matrix,
     quick_matrix,
     random_scenarios,
 )
 
 __all__ = [
+    "BLOCK_MATRIX",
     "FAMILIES",
     "PHYS",
     "PHY_MATRIX",
@@ -60,12 +64,14 @@ __all__ = [
     "SlotUniformSource",
     "SourcedBeaconNode",
     "StepShimNode",
+    "block_matrix",
     "build_lockstep",
     "fuzz",
     "localize_slot",
     "phy_matrix",
     "quick_matrix",
     "random_scenarios",
+    "run_block_lockstep",
     "run_lockstep",
     "run_matrix",
     "run_scenario",

@@ -55,6 +55,7 @@ __all__ = [
     "SourcedBeaconNode",
     "StepShimNode",
     "build_lockstep",
+    "run_block_lockstep",
     "run_lockstep",
     "run_unaligned_lockstep",
 ]
@@ -320,6 +321,120 @@ def run_lockstep(
         divergence=divergence,
         classic_totals=ta.channel_metrics.totals(),
         vectorized_totals=tb.channel_metrics.totals(),
+    )
+
+
+def run_block_lockstep(
+    dep: Deployment,
+    params: Parameters,
+    wake_slots: np.ndarray,
+    *,
+    seed: int = 0,
+    loss_prob: float = 0.0,
+    block: int = 64,
+    max_slots: int | None = None,
+    node_cls: type = BernoulliColoringNode,
+    scenario: Scenario | None = None,
+    phy_factory: Callable[[], PhyModel] | None = None,
+) -> ConformanceReport:
+    """Lockstep the vectorized per-slot path against its block-stepped mode.
+
+    Both sides are the *same* fast path — identically-seeded vectorized
+    simulators over the same batched nodes — so the claim under test is
+    the strongest one in the engine: :meth:`RadioSimulator.step_block`
+    must be **byte-identical** to per-slot stepping.  Unlike the
+    classic-vs-vectorized lockstep, the comparison therefore covers all
+    six channel-metric columns (including the per-path diagnostic draw
+    counters ``protocol_draws`` / ``loss_draws``: the block draw
+    ``random((B, n))`` and the all-passive-span ``skip`` consume the
+    PCG64 stream exactly like per-slot ``random(n)`` calls, and the
+    blocked mode attributes them to slots identically), plus every
+    level-2 trace event and the terminal node state.
+
+    The blocked side advances ``block`` slots per ``step_block`` call
+    while the per-slot side takes single steps; events and metric rows
+    are compared chunk-by-chunk and any mismatch is localized to its
+    exact slot.
+    """
+    if block < 1:
+        raise ValueError(f"block must be >= 1, got {block}")
+    n = dep.n
+
+    def seed_seq() -> np.random.SeedSequence:
+        return np.random.SeedSequence(entropy=seed, spawn_key=(_CONFORM_KEY,))
+
+    trace_a = TraceRecorder(n, level=2)
+    trace_b = TraceRecorder(n, level=2)
+    nodes_a = [node_cls(v, params, trace_a) for v in range(n)]
+    nodes_b = [node_cls(v, params, trace_b) for v in range(n)]
+
+    def build(nodes, trace) -> RadioSimulator:
+        return RadioSimulator(
+            dep,
+            nodes,
+            wake_slots,
+            rng=np.random.Generator(np.random.PCG64(seed_seq())),
+            trace=trace,
+            loss_prob=loss_prob,
+            vectorized=True,
+            phy=phy_factory() if phy_factory is not None else None,
+        )
+
+    sim_a, sim_b = build(nodes_a, trace_a), build(nodes_b, trace_b)
+    if max_slots is None:
+        wake_max = int(wake_slots.max()) if n else 0
+        max_slots = suggested_max_slots(params, wake_max)
+
+    ia = ib = 0  # consumed prefixes of the two event lists
+    divergence: Divergence | None = None
+    while sim_a.slot < max_slots and divergence is None:
+        t0 = sim_a.slot
+        chunk = min(block, max_slots - t0)
+        for _ in range(chunk):
+            sim_a.step()
+        sim_b.step_block(chunk)
+        # Events, grouped by slot, in canonical form.
+        by_slot_a: dict[int, list] = {}
+        for e in trace_a.events[ia:]:
+            by_slot_a.setdefault(e.slot, []).append(e)
+        by_slot_b: dict[int, list] = {}
+        for e in trace_b.events[ib:]:
+            by_slot_b.setdefault(e.slot, []).append(e)
+        ia, ib = len(trace_a.events), len(trace_b.events)
+        for k in sorted(set(by_slot_a) | set(by_slot_b)):
+            divergence = localize_slot(
+                k, by_slot_a.get(k, []), by_slot_b.get(k, []), scenario
+            )
+            if divergence is not None:
+                break
+        if divergence is None:
+            # All six metric columns, slot-exact across the chunk.
+            for k in range(t0, t0 + chunk):
+                row_a = trace_a.channel_metrics.row(k)
+                row_b = trace_b.channel_metrics.row(k)
+                for name in row_a:
+                    if row_a[name] != row_b[name]:
+                        divergence = Divergence(
+                            k, None, f"metrics.{name}",
+                            row_a[name], row_b[name], scenario,
+                        )
+                        break
+                if divergence is not None:
+                    break
+        if divergence is None and trace_a.decided >= n and trace_b.decided >= n:
+            break
+    if divergence is None:
+        pair = LockstepPair(sim_a, sim_b, nodes_a, nodes_b)
+        divergence = _final_divergence(pair, scenario)
+    completed = trace_a.decided >= n and trace_b.decided >= n
+    return ConformanceReport(
+        scenario=scenario,
+        ok=divergence is None,
+        slots=sim_a.slot,
+        completed=completed,
+        divergence=divergence,
+        classic_totals=trace_a.channel_metrics.totals(),
+        vectorized_totals=trace_b.channel_metrics.totals(),
     )
 
 

@@ -20,7 +20,11 @@ from dataclasses import dataclass, field
 from functools import partial
 
 from repro.conform.divergence import ConformanceReport
-from repro.conform.lockstep import run_lockstep, run_unaligned_lockstep
+from repro.conform.lockstep import (
+    run_block_lockstep,
+    run_lockstep,
+    run_unaligned_lockstep,
+)
 from repro.conform.scenarios import Scenario, random_scenarios
 
 __all__ = ["FuzzResult", "fuzz", "run_matrix", "run_scenario"]
@@ -38,7 +42,10 @@ def run_scenario(
     lockstep the engine's classic and vectorized paths (the latter on a
     :class:`~repro.radio.channel.MultiChannelPhy`); ``unaligned``
     locksteps the aligned classic engine against the zero-offset
-    unaligned simulator on a scripted beacon population.
+    unaligned simulator on a scripted beacon population.  With
+    ``scenario.block > 0`` the comparison is instead the vectorized
+    path's per-slot stepping against its block-stepped mode
+    (:func:`~repro.conform.lockstep.run_block_lockstep`).
     """
     dep, params, wake_slots = scenario.build()
     if scenario.phy == "unaligned":
@@ -61,6 +68,18 @@ def run_scenario(
 
             wake_max = int(wake_slots.max()) if dep.n else 0
             max_slots = suggested_max_slots(params, wake_max) * scenario.channels
+    if scenario.block:
+        return run_block_lockstep(
+            dep,
+            params,
+            wake_slots,
+            seed=scenario.seed,
+            loss_prob=scenario.loss_prob,
+            block=scenario.block,
+            max_slots=max_slots,
+            scenario=scenario,
+            phy_factory=phy_factory,
+        )
     return run_lockstep(
         dep,
         params,

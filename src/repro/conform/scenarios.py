@@ -30,12 +30,14 @@ from repro.graphs.deployment import Deployment
 from repro.wakeup import sequential, staggered_neighbors, synchronous, uniform_random
 
 __all__ = [
+    "BLOCK_MATRIX",
     "FAMILIES",
     "PHYS",
     "PHY_MATRIX",
     "SCENARIO_MATRIX",
     "SCHEDULES",
     "Scenario",
+    "block_matrix",
     "phy_matrix",
     "quick_matrix",
     "random_scenarios",
@@ -72,6 +74,9 @@ class Scenario:
     phy: str = "collision"
     #: channel count for the ``multichannel`` phy (1 elsewhere).
     channels: int = 1
+    #: block size for the block-vs-per-slot lockstep (0 = classic-vs-
+    #: vectorized lockstep, the default comparison).
+    block: int = 0
 
     def __post_init__(self) -> None:
         if self.family not in FAMILIES:
@@ -88,6 +93,14 @@ class Scenario:
             raise ValueError("scenarios need channels >= 1")
         if self.channels > 1 and self.phy != "multichannel":
             raise ValueError("channels > 1 requires phy='multichannel'")
+        if self.block < 0:
+            raise ValueError("scenarios need block >= 0")
+        if self.block and self.phy == "unaligned":
+            raise ValueError(
+                "block lockstep compares the vectorized engine's two "
+                "stepping modes; the unaligned simulator has no "
+                "vectorized path (pick one of block / phy='unaligned')"
+            )
 
     # ------------------------------------------------------------------
     def build_deployment(self) -> Deployment:
@@ -142,6 +155,8 @@ class Scenario:
             base += f" phy={self.phy}"
         if self.channels > 1:
             base += f" k={self.channels}"
+        if self.block:
+            base += f" block={self.block}"
         return base
 
     def cli_args(self) -> str:
@@ -155,6 +170,8 @@ class Scenario:
             base += f" --phy {self.phy}"
         if self.channels > 1:
             base += f" --channels {self.channels}"
+        if self.block:
+            base += f" --block {self.block}"
         return base
 
 
@@ -220,6 +237,46 @@ def phy_matrix() -> tuple[Scenario, ...]:
     return PHY_MATRIX
 
 
+def _block_matrix() -> tuple[Scenario, ...]:
+    """Pinned block-vs-per-slot lockstep cells.
+
+    These assert that :meth:`~repro.radio.engine.RadioSimulator.
+    step_block` is byte-identical to per-slot stepping of the same
+    vectorized engine — across wake schedules (the staggered/random
+    cells exercise long all-passive spans, which the blocked mode
+    fast-forwards with ``advance`` instead of generating), with loss
+    injection (the loss-draw column must match to the draw), on
+    multi-channel PHYs (lazy per-slot hop draws must stay lazy), and
+    with a block far beyond the run length (one giant chunk; segment
+    bounds, not the block size, must govern memory and correctness).
+    """
+    return (
+        Scenario(family="udg", n=20, degree=5.0, schedule="sync",
+                 seed=5000, block=64),
+        Scenario(family="udg", n=22, degree=6.0, schedule="random",
+                 loss_prob=0.1, seed=5001, block=7),
+        Scenario(family="torus", n=20, degree=6.0, schedule="staggered",
+                 seed=5010, block=256),
+        Scenario(family="quasi_udg", n=18, degree=5.0, schedule="random",
+                 loss_prob=0.2, seed=5012, block=1_000_000),
+        Scenario(family="udg", n=18, degree=5.0, schedule="sync",
+                 seed=5100, phy="multichannel", channels=2,
+                 param_scale=2.0, block=32),
+        Scenario(family="torus", n=20, degree=6.0, schedule="random",
+                 loss_prob=0.1, seed=5110, phy="multichannel", channels=3,
+                 param_scale=3.0, block=16),
+    )
+
+
+#: the pinned block-stepping matrix (6 block-vs-per-slot scenarios).
+BLOCK_MATRIX: tuple[Scenario, ...] = _block_matrix()
+
+
+def block_matrix() -> tuple[Scenario, ...]:
+    """The pinned block-stepping scenarios (see :data:`BLOCK_MATRIX`)."""
+    return BLOCK_MATRIX
+
+
 def quick_matrix() -> tuple[Scenario, ...]:
     """A fast diagonal through the matrix: one scenario per family,
     rotating schedules, alternating loss — the ``--quick`` / tier-1
@@ -238,6 +295,19 @@ def quick_matrix() -> tuple[Scenario, ...]:
                 seed=500 + fi,
             )
         )
+    # One block-stepping cell so the smoke subset also guards the
+    # blocked engine mode (full coverage lives in BLOCK_MATRIX).
+    out.append(
+        Scenario(
+            family="udg",
+            n=16,
+            degree=5.0,
+            schedule="random",
+            loss_prob=0.1,
+            seed=504,
+            block=32,
+        )
+    )
     return tuple(out)
 
 

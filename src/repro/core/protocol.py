@@ -182,6 +182,7 @@ def run_coloring(
     unaligned: bool = False,
     offsets: np.ndarray | None = None,
     channels: int = 1,
+    block: int = 1,
 ) -> ColoringResult:
     """Run the full coloring protocol on ``dep`` and return the result.
 
@@ -218,6 +219,16 @@ def run_coloring(
         channels per slot; only same-channel transmissions interfere or
         deliver).  ``1`` (default) is the paper's single-channel model.
         Mutually exclusive with ``unaligned``.
+    block:
+        Execution granularity for
+        :meth:`~repro.radio.channel.SlotSteppedSimulator.run`: with
+        ``block > 1`` the engine advances up to ``block`` slots per
+        chunk, and on the vectorized fast path (batched ``node_cls``,
+        e.g. :class:`~repro.core.vector_node.BernoulliColoringNode`)
+        draws the transmit Bernoullis of a whole block at once and pays
+        per-slot Python cost only at slots where something happens.  The
+        result is identical at any block size; the completion stop is
+        still localized to the exact slot.
     """
     if dep.n == 0:
         raise ValueError("cannot color an empty deployment")
@@ -249,7 +260,7 @@ def run_coloring(
     # (which inflated time curves and tx/energy counts by up to 15 slots).
     trace, n = sim.trace, dep.n
     res = sim.run(
-        max_slots, stop_when=lambda s: trace.decided >= n, check_every=1
+        max_slots, stop_when=lambda s: trace.decided >= n, check_every=1, block=block
     )
 
     colors = np.array(

@@ -32,6 +32,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.graphs.deployment import Deployment
+from repro.radio.channel import csr_arrays
 from repro._util import spawn_generator
 
 __all__ = [
@@ -42,26 +43,22 @@ __all__ = [
 ]
 
 
+def _csr_from_lists(lists, n: int) -> sparse.csr_matrix:
+    """0/1 CSR matrix whose row ``v`` marks ``lists[v]`` — built directly
+    from the engine's shared CSR arrays (:func:`~repro.radio.channel.
+    csr_arrays`), one source of truth for adjacency layout and no Python
+    double-loop over edges."""
+    indptr, indices = csr_arrays(lists, n)
+    data = np.ones(len(indices), dtype=np.int64)
+    return sparse.csr_matrix((data, indices, indptr), shape=(n, n))
+
+
 def _adjacency(dep: Deployment) -> sparse.csr_matrix:
-    n = dep.n
-    rows, cols = [], []
-    for v in range(n):
-        for u in dep.neighbors[v]:
-            rows.append(v)
-            cols.append(int(u))
-    data = np.ones(len(rows), dtype=np.int64)
-    return sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+    return _csr_from_lists(dep.neighbors, dep.n)
 
 
 def _closed_two_hop(dep: Deployment) -> sparse.csr_matrix:
-    n = dep.n
-    rows, cols = [], []
-    for v in range(n):
-        for u in dep.two_hop[v]:
-            rows.append(v)
-            cols.append(int(u))
-    data = np.ones(len(rows), dtype=np.int64)
-    return sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+    return _csr_from_lists(dep.two_hop, dep.n)
 
 
 @dataclass
@@ -147,7 +144,7 @@ def simulate_beacons(
     rx_count = np.zeros(n, dtype=np.int64)
     collision_count = np.zeros(n, dtype=np.int64)
     success_count = np.zeros(n, dtype=np.int64)
-    pair = sparse.lil_matrix((n, n), dtype=np.int64)
+    pair = sparse.csr_matrix((n, n), dtype=np.int64)
 
     done = 0
     while done < slots:
@@ -160,14 +157,19 @@ def simulate_beacons(
         # Lemma 4 event: transmitting and sole transmitter in closed N^2.
         counts2 = tx.astype(np.int64) @ adj2
         success_count += (tx & (counts2 == 1)).sum(axis=0)
-        # Pairwise attribution, accumulated sparsely.
+        # Pairwise attribution: one COO per chunk straight from the
+        # (listener, sender) index arrays — duplicate entries sum on CSR
+        # conversion, so no Python loop over receptions is needed.
         t_idx, u_idx = np.nonzero(received)
-        s_idx = sender[t_idx, u_idx]
-        np_pairs, np_counts = np.unique(
-            u_idx.astype(np.int64) * n + s_idx.astype(np.int64), return_counts=True
-        )
-        for key, cnt in zip(np_pairs, np_counts):
-            pair[key // n, key % n] += int(cnt)
+        if u_idx.size:
+            s_idx = sender[t_idx, u_idx]
+            pair = pair + sparse.coo_matrix(
+                (
+                    np.ones(u_idx.size, dtype=np.int64),
+                    (u_idx.astype(np.int64), s_idx.astype(np.int64)),
+                ),
+                shape=(n, n),
+            ).tocsr()
         done += m
 
     return BeaconBatchResult(
@@ -175,7 +177,7 @@ def simulate_beacons(
         tx_count=tx_count,
         rx_count=rx_count,
         collision_count=collision_count,
-        pair_rx=pair.tocsr(),
+        pair_rx=pair,
         success_count=success_count,
     )
 

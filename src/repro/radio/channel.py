@@ -36,6 +36,12 @@ Determinism contract (every PHY must uphold it; see DESIGN.md §5.9):
 3. **Side-stream isolation** — any extra randomness a PHY needs (e.g.
    channel hopping) must likewise come from its own spawned child,
    metered, never from the protocol stream.
+4. **Empty-slot laziness** — ``resolve`` must consume no randomness when
+   the outbox is empty (draw side streams lazily, like
+   :class:`MultiChannelPhy` does).  The block-stepped engine advances
+   runs of empty slots without calling ``resolve`` at all, so an eager
+   PHY draw would silently decouple the block-stepped and per-slot
+   trajectories.
 
 Adding a new PHY model is three steps: subclass :class:`PhyModel`,
 implement ``resolve`` honouring the contract above, and add a pinned
@@ -65,22 +71,32 @@ __all__ = [
     "SimulationResult",
     "SlotSteppedSimulator",
     "build_csr",
+    "csr_arrays",
     "make_phy",
 ]
+
+
+def csr_arrays(lists: Sequence[np.ndarray], n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten per-node index lists into CSR-style ``(indptr, indices)``
+    arrays: row ``v``'s entries are ``indices[indptr[v]:indptr[v+1]]``.
+
+    The one source of truth for list-of-arrays -> CSR construction:
+    :func:`build_csr` applies it to a deployment's neighbor arrays, and
+    :mod:`repro.radio.batch` to its one- and two-hop adjacency."""
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    if n:
+        indptr[1:] = np.cumsum([len(a) for a in lists])
+    indices = (
+        np.concatenate(lists) if n and indptr[-1] else np.empty(0, dtype=np.int64)
+    )
+    return indptr, indices.astype(np.int64, copy=False)
 
 
 def build_csr(dep: Deployment) -> tuple[np.ndarray, np.ndarray]:
     """Flatten a deployment's per-node neighbor arrays into CSR-style
     ``(indptr, indices)`` arrays: node ``v``'s neighbors are
     ``indices[indptr[v]:indptr[v+1]]``."""
-    nbrs = dep.neighbors
-    indptr = np.zeros(dep.n + 1, dtype=np.int64)
-    if dep.n:
-        indptr[1:] = np.cumsum([len(a) for a in nbrs])
-    indices = (
-        np.concatenate(nbrs) if dep.n and indptr[-1] else np.empty(0, dtype=np.int64)
-    )
-    return indptr, indices.astype(np.int64, copy=False)
+    return csr_arrays(dep.neighbors, dep.n)
 
 
 @dataclass
@@ -423,11 +439,40 @@ class SlotSteppedSimulator(ABC):
     def all_woken(self) -> bool:
         """Whether every node's wake slot has passed."""
 
+    def step_block(
+        self,
+        count: int,
+        stop_when: Callable[["SlotSteppedSimulator"], bool] | None = None,
+        check_every: int = 16,
+    ) -> bool:
+        """Advance up to ``count`` slots; return whether ``stop_when``
+        held at a check boundary (the slot counter then sits exactly at
+        the stopping slot).
+
+        This base implementation is a plain per-slot loop — byte-for-byte
+        the semantics of calling :meth:`step` ``count`` times with the
+        :meth:`run` stop-check between steps.  Simulators with a bulk
+        execution mode (the vectorized engine's block-stepped path)
+        override it to advance many slots per Python iteration while
+        preserving exactly those semantics.
+        """
+        for _ in range(count):
+            self.step()
+            if (
+                stop_when is not None
+                and self.all_woken
+                and self.slot % check_every == 0
+                and stop_when(self)
+            ):
+                return True
+        return False
+
     def run(
         self,
         max_slots: int,
         stop_when: Callable[["SlotSteppedSimulator"], bool] | None = None,
         check_every: int = 16,
+        block: int = 1,
     ) -> SimulationResult:
         """Run until ``stop_when`` holds (checked every ``check_every``
         slots, and only after all nodes have woken) or ``max_slots`` pass.
@@ -439,18 +484,26 @@ class SlotSteppedSimulator(ABC):
         :attr:`TraceRecorder.decided <repro.radio.trace.TraceRecorder>` —
         should pass ``check_every=1`` to stop on, and report, the exact
         slot the condition first held.
+
+        ``block`` is the execution granularity: slots are advanced in
+        chunks of up to ``block`` via :meth:`step_block`.  Results are
+        identical at any block size; on simulators with a bulk mode a
+        larger block lets runs of empty slots advance without per-slot
+        Python work.  With ``block > 1``, ``stop_when`` must be a
+        function of *simulation state* (node state, trace counters such
+        as ``trace.decided``) only: state is frozen across an empty run,
+        so the predicate is evaluated once per run and localized to the
+        exact check slot, rather than being re-called at every boundary
+        the run spans.
         """
         if check_every < 1:
             raise ValueError(f"check_every must be >= 1, got {check_every}")
+        if block < 1:
+            raise ValueError(f"block must be >= 1, got {block}")
         stopped = False
         while self.slot < max_slots:
-            self.step()
-            if (
-                stop_when is not None
-                and self.all_woken
-                and self.slot % check_every == 0
-                and stop_when(self)
-            ):
+            chunk = min(block, max_slots - self.slot)
+            if self.step_block(chunk, stop_when, check_every):
                 stopped = True
                 break
         if not stopped and stop_when is not None and self.all_woken and stop_when(self):

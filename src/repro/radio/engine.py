@@ -89,6 +89,14 @@ __all__ = ["RadioSimulator", "SimulationResult", "build_csr"]
 #: effectively-infinite slot number for "no scheduled event"
 _FAR = 1 << 62
 
+# Segment-draw cap for the block-stepped path: uniforms are drawn at most
+# this many slots at a time into one reused buffer.  Keeps the working
+# set cache-resident (128 x n float64 is ~1.6 MB at n = 1600) — PCG64
+# throughput degrades ~3x when each segment draw faults in fresh
+# multi-megabyte pages.  Purely an execution detail: the stream is
+# consumed row-major either way, so chunk size never affects results.
+_DRAW_CHUNK = 128
+
 
 class RadioSimulator(SlotSteppedSimulator):
     """Drives a set of :class:`ProtocolNode` objects over a deployment.
@@ -201,6 +209,11 @@ class RadioSimulator(SlotSteppedSimulator):
         if self.vectorized:
             self._p = np.zeros(n, dtype=np.float64)
             self._evt = np.full(n, _FAR, dtype=np.int64)
+            # State generation: bumped whenever any node's cached send
+            # probability or event slot actually changes.  The block-
+            # stepped path keys its fire-candidate caches off this.
+            self._gen = 0
+            self._draw_buf: np.ndarray | None = None  # step_block segment buffer
             self.core.on_deliver = self._on_deliver
 
     # ------------------------------------------------------------------
@@ -210,10 +223,16 @@ class RadioSimulator(SlotSteppedSimulator):
 
     def _refresh(self, v: int) -> None:
         """Re-read node ``v``'s send probability and next event slot
-        (fast path bookkeeping after wake / event / delivery)."""
+        (fast path bookkeeping after wake / event / delivery).  Bumps the
+        state generation only on an actual change, so the block-stepped
+        path invalidates its fire-candidate cache exactly when needed."""
         node = self.nodes[v]
-        self._p[v] = node.tx_prob()
-        self._evt[v] = node.next_event_slot()
+        p = node.tx_prob()
+        e = node.next_event_slot()
+        if p != self._p[v] or e != self._evt[v]:
+            self._p[v] = p
+            self._evt[v] = e
+            self._gen += 1
 
     def _on_deliver(self, u: int, msg: Message) -> None:
         """Core delivery hook: a delivery can change a node's state."""
@@ -221,16 +240,22 @@ class RadioSimulator(SlotSteppedSimulator):
 
     def _wake_due(self, t: int) -> None:
         """Phase 1: wake nodes whose wake slot is ``t``."""
+        vectorized = self.vectorized
         while self._next_wake < len(self._wake_order):
             v = int(self._wake_order[self._next_wake])
             if self.wake_slots[v] != t:
                 break
             self.nodes[v].wake(t)
             self.trace.wake(t, v)
-            self._awake.append(v)
             self._next_wake += 1
-            if self.vectorized:
+            if vectorized:
+                # The awake roster is classic-path state (_collect_classic
+                # iterates it); the fast path tracks wakefulness through
+                # the dense _p/_evt arrays instead, so appending here
+                # would be dead work and memory held for the whole run.
                 self._refresh(v)
+            else:
+                self._awake.append(v)
 
     def _collect_classic(self, t: int) -> list[tuple[int, Message]]:
         """Phase 2 (compatibility path): per-node protocol steps."""
@@ -290,3 +315,182 @@ class RadioSimulator(SlotSteppedSimulator):
             loss_draws=self.core.loss_draws - loss0,
         )
         self.slot = t + 1
+
+    # -- block-stepped execution (vectorized fast path only) -------------
+    def step_block(
+        self,
+        count: int,
+        stop_when=None,
+        check_every: int = 16,
+    ) -> bool:
+        """Advance up to ``count`` slots, paying Python per-slot cost only
+        at *interesting* slots (a wake, a scheduled event, or a transmit
+        Bernoulli that fires).
+
+        Trajectory- and metrics-identical to ``count`` calls of
+        :meth:`step`: the transmit uniforms are drawn in segments
+        ``rng.random((m, n))``, which consumes the PCG64 stream exactly
+        like ``m`` sequential ``rng.random(n)`` calls, and spans in which
+        every send probability is zero advance the stream via
+        :meth:`~repro._util.RngMeter.skip` (state-identical to generating
+        and discarding).  Runs of empty slots emit their all-zero channel
+        metrics in one bulk append.
+
+        Stop predicates must be state-only (see
+        :meth:`SlotSteppedSimulator.run`); inside an empty span the state
+        is frozen, so the predicate is evaluated once and, if true, the
+        stop is localized to the exact first ``check_every`` boundary the
+        per-slot loop would have stopped at.  After such an early stop the
+        *protocol trajectory and all recorded metrics* match the per-slot
+        run exactly, but uniforms drawn for the never-simulated remainder
+        of the current segment leave the generator object further along —
+        observable only if the caller keeps stepping the same simulator
+        past a stop.
+        """
+        if not self.vectorized or count <= 1:
+            return super().step_block(count, stop_when, check_every)
+        nodes = self.nodes
+        n = len(nodes)
+        rng = self.rng
+        trace = self.trace
+        core = self.core
+        phy = self.phy
+        p = self._p
+        evt = self._evt
+        wake_slots = self.wake_slots
+        order = self._wake_order
+        record_tx = core.record_tx
+        t = self.slot
+        end = t + count
+
+        U: np.ndarray | None = None  # uniforms for absolute slots [seg_lo, seg_hi)
+        seg_lo = seg_hi = t
+        hits: np.ndarray | None = None  # ascending candidate fire slots, cover to hits_hi
+        hits_hi = t
+        active: np.ndarray | None = None  # columns with p > 0
+        gen = -1  # state generation the caches were computed at
+
+        def boundary(lo: int, hi: int) -> int | None:
+            """First stop-check slot counter in [lo, hi], or None."""
+            s = -(lo // -check_every) * check_every
+            return s if s <= hi else None
+
+        while t < end:
+            self.slot = t
+            # Phases 1-2a: wakes, then scheduled events, due at t.
+            if self._next_wake < len(order) and wake_slots[order[self._next_wake]] == t:
+                self._wake_due(t)
+            if gen != self._gen:
+                active = np.nonzero(p > 0.0)[0]
+                gen = self._gen
+                hits = None
+            ne = int(evt.min())
+            if ne <= t:
+                for v in np.nonzero(evt <= t)[0]:
+                    nodes[v].on_event(t)
+                    self._refresh(int(v))
+                if gen != self._gen:
+                    active = np.nonzero(p > 0.0)[0]
+                    gen = self._gen
+                    hits = None
+                ne = int(evt.min())
+            nw = (
+                int(wake_slots[order[self._next_wake]])
+                if self._next_wake < len(order)
+                else _FAR
+            )
+            # State is constant over [t, bound): no wake or scheduled
+            # event falls strictly inside, so p/evt can only change at a
+            # fire slot (via deliveries).
+            bound = min(nw, ne, end)
+            if bound <= t:
+                bound = t + 1  # a node left its event due; re-fires next slot
+            # Uniforms for [t, bound): reuse the buffered segment, draw a
+            # fresh one, or — when nothing can fire — skip the stream.
+            if U is None or t >= seg_hi:
+                m = bound - t
+                if active.size == 0:
+                    # All-passive span: random() < 0.0 never holds, so
+                    # consume the stream without generating.
+                    if stop_when is not None and self.all_woken:
+                        s = boundary(t + 1, bound)
+                        if s is not None:
+                            self.slot = s
+                            if stop_when(self):
+                                rng.skip((s - t) * n)
+                                trace.channel_empty(t, s - t, n)
+                                return True
+                    rng.skip(m * n)
+                    trace.channel_empty(t, m, n)
+                    t = bound
+                    continue
+                m = min(m, _DRAW_CHUNK)
+                buf = self._draw_buf
+                if buf is None:
+                    buf = self._draw_buf = np.empty((_DRAW_CHUNK, n))
+                U = rng.fill(buf[:m])
+                seg_lo, seg_hi = t, t + m
+                hits = None
+            lim = min(bound, seg_hi)
+            # Candidate fire slots over [t, lim) under the current p.
+            if hits is None or hits_hi < lim:
+                sub = U[t - seg_lo : lim - seg_lo]
+                if active.size == n:
+                    rows = (sub < p).any(axis=1)
+                else:
+                    rows = (sub[:, active] < p[active]).any(axis=1)
+                hits = np.nonzero(rows)[0] + t
+                hits_hi = lim
+            if hits.size == 0 or hits[0] >= lim:
+                f = lim  # whole span [t, lim) is empty
+            else:
+                f = int(hits[0])
+            if f > t:
+                # Empty span [t, f): state frozen, so one predicate
+                # evaluation covers every check boundary inside it.
+                if stop_when is not None and self.all_woken:
+                    s = boundary(t + 1, f)
+                    if s is not None:
+                        self.slot = s
+                        if stop_when(self):
+                            trace.channel_empty(t, s - t, n)
+                            return True
+                trace.channel_empty(t, f - t, n)
+                t = f
+                if f == lim:
+                    if t >= seg_hi:
+                        U = None
+                    continue
+                self.slot = t
+            # Full per-slot machinery for the fire slot t.
+            loss0 = core.loss_draws
+            fire = np.nonzero(U[t - seg_lo] < p)[0]
+            outbox: list[tuple[int, Message]] = []
+            for v in fire:
+                v = int(v)
+                msg = nodes[v].emit(t)
+                if msg is not None:
+                    record_tx(t, v, msg, outbox)
+            candidates = phy.resolve(t, outbox)
+            delivered, collided, lost = core.deliver(t, candidates)
+            trace.channel(
+                t,
+                tx=len(outbox),
+                rx=delivered,
+                collisions=collided,
+                lost=lost,
+                protocol_draws=n,
+                loss_draws=core.loss_draws - loss0,
+            )
+            t += 1
+            self.slot = t
+            hits = hits[1:]
+            if (
+                stop_when is not None
+                and self.all_woken
+                and t % check_every == 0
+                and stop_when(self)
+            ):
+                return True
+        self.slot = end
+        return False

@@ -95,6 +95,26 @@ class ChannelMetrics:
         self.protocol_draws.append(protocol_draws)
         self.loss_draws.append(loss_draws)
 
+    def extend_empty(self, count: int, protocol_draws: int) -> None:
+        """Record ``count`` consecutive *empty* slots in one append.
+
+        An empty slot has no transmissions, deliveries, collisions, or
+        injected losses, and consumes no loss draws — only the engine's
+        unconditional per-slot transmit-decision draw (``protocol_draws``
+        variates, ``n`` on the vectorized path).  The block-stepped
+        engine advances runs of empty slots in bulk; this keeps the
+        always-on metrics slot-exact without a Python call per slot.
+        """
+        if count <= 0:
+            return
+        zeros = [0] * count
+        self.tx.extend(zeros)
+        self.rx.extend(zeros)
+        self.collisions.extend(zeros)
+        self.lost.extend(zeros)
+        self.protocol_draws.extend([protocol_draws] * count)
+        self.loss_draws.extend(zeros)
+
     def __len__(self) -> int:
         """Number of recorded slots."""
         return len(self.tx)
@@ -204,6 +224,17 @@ class TraceRecorder:
                 f"{len(self.channel_metrics)} recorded slots"
             )
         self.channel_metrics.append(tx, rx, collisions, lost, protocol_draws, loss_draws)
+
+    def channel_empty(self, slot: int, count: int, protocol_draws: int) -> None:
+        """Record ``count`` empty slots starting at ``slot`` in one bulk
+        append (block-stepped engine; same slot-alignment contract as
+        :meth:`channel`)."""
+        if slot != len(self.channel_metrics):
+            raise ValueError(
+                f"channel metrics for slot {slot} after "
+                f"{len(self.channel_metrics)} recorded slots"
+            )
+        self.channel_metrics.extend_empty(count, protocol_draws)
 
     # -- queries --------------------------------------------------------------
     def decision_times(self) -> np.ndarray:

@@ -91,7 +91,9 @@ class TestConform:
         rc = main(["conform", "--quick"])
         out = capsys.readouterr().out
         assert rc == 0, out
-        assert "4/4 scenarios conform" in out
+        # 5 cells since the block-stepped lockstep cell joined the quick
+        # matrix (classic-vs-vectorized x4 + per-slot-vs-blocked x1).
+        assert "5/5 scenarios conform" in out
 
     def test_injected_bug_exits_nonzero_with_report(self, capsys):
         rc = main(["conform", "--quick", "--inject-bug"])

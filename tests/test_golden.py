@@ -132,6 +132,43 @@ class TestGoldenColoring:
             "loss_draws": 0,
         }
 
+    def test_vectorized_blocked_run_pinned(self):
+        """The vectorized fast path's whole-run outcome, pinned — and the
+        block-stepped mode must reproduce it *exactly* at any block size.
+
+        The vectorized path consumes the protocol stream differently
+        from the classic path (one ``random(n)`` per slot instead of
+        per-node geometric skips), so it gets its own literals; the
+        blocked run is required to be byte-identical to them, which pins
+        the segment-draw / stream-skip equivalence end to end
+        (protocol_draws == slots * n exactly)."""
+        from repro.core import BernoulliColoringNode
+
+        dep = random_udg(40, expected_degree=8, seed=1, connected=True)
+        base = run_coloring(dep, seed=11, node_cls=BernoulliColoringNode)
+        s = base.summary()
+        assert s["completed"] and s["proper"]
+        assert s["colors"] == 11
+        assert s["leaders"] == 10
+        assert s["slots"] == 7837
+        totals = base.trace.channel_metrics.totals()
+        assert totals == {
+            "tx": 12801,
+            "rx": 51208,
+            "collisions": 6146,
+            "lost": 0,
+            "protocol_draws": 313480,
+            "loss_draws": 0,
+        }
+        assert totals["protocol_draws"] == s["slots"] * 40
+        for block in (64, 1_000_000):
+            blocked = run_coloring(
+                dep, seed=11, node_cls=BernoulliColoringNode, block=block
+            )
+            assert blocked.slots == base.slots
+            assert np.array_equal(blocked.colors, base.colors)
+            assert blocked.trace.channel_metrics.totals() == totals
+
     def test_ring_colors_pinned(self):
         res = run_coloring(ring_deployment(10), seed=3)
         res2 = run_coloring(ring_deployment(10), seed=3)

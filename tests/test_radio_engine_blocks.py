@@ -1,0 +1,174 @@
+"""Block-stepped fast path: identity with per-slot stepping.
+
+The block-stepped mode (``run(..., block=B)`` on the vectorized engine
+path) promises *byte-identical trajectories* at any block size: the
+segment draws ``rng.random((m, n))`` consume the PCG64 stream exactly
+like ``m`` sequential per-slot draws, and all-passive spans advance the
+stream via :meth:`~repro._util.RngMeter.skip` instead of generating.
+These tests check that promise the direct way — run the same seeded
+world both ways and demand equality of every observable: slot counts,
+early-stop behaviour, all six channel-metric columns slot-for-slot,
+per-node trace counters, the full level-2 event list, and final colors.
+
+The conformance matrix (``repro conform --matrix``) pins specific
+scenarios; the Hypothesis property here walks random deployments, wake
+schedules, seeds, loss rates, stop granularities, and block sizes
+(including ``block=1`` and ``block`` far beyond the run length).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BernoulliColoringNode, Parameters, run_coloring
+from repro.core.protocol import build_simulator
+from repro.graphs import random_udg
+from repro.wakeup import uniform_random
+
+BLOCK_SIZES = (1, 2, 3, 7, 17, 64, 1_000_000)
+
+
+def _world(n, degree, graph_seed, wake_seed, wake_window):
+    dep = random_udg(n, expected_degree=degree, seed=graph_seed)
+    params = Parameters.practical(n, max(2, dep.max_degree), 5, 18)
+    if wake_window == 0:
+        wake = np.zeros(n, dtype=np.int64)
+    else:
+        wake = uniform_random(n, window=wake_window, seed=wake_seed)
+    return dep, params, wake
+
+
+def _run(dep, params, wake, *, seed, block, loss_prob=0.0, channels=1,
+         max_slots=400, check_every=16, stop=False):
+    sim, nodes = build_simulator(
+        dep,
+        params,
+        wake,
+        seed=seed,
+        node_cls=BernoulliColoringNode,
+        trace_level=2,
+        loss_prob=loss_prob,
+        channels=channels,
+    )
+    stop_when = (lambda s: s.trace.decided >= dep.n) if stop else None
+    res = sim.run(max_slots, stop_when=stop_when, check_every=check_every,
+                  block=block)
+    return sim, nodes, res
+
+
+def _assert_identical(a, b):
+    sim_a, nodes_a, res_a = a
+    sim_b, nodes_b, res_b = b
+    assert res_a.slots == res_b.slots
+    assert res_a.stopped_early == res_b.stopped_early
+    cols_a = sim_a.trace.channel_metrics.as_arrays()
+    cols_b = sim_b.trace.channel_metrics.as_arrays()
+    assert set(cols_a) == set(cols_b)
+    for name in cols_a:
+        assert np.array_equal(cols_a[name], cols_b[name]), f"column {name}"
+    for attr in ("tx_count", "rx_count", "collision_count"):
+        assert np.array_equal(getattr(sim_a.trace, attr), getattr(sim_b.trace, attr))
+    assert sim_a.trace.events == sim_b.trace.events
+    assert [n.color for n in nodes_a] == [n.color for n in nodes_b]
+    assert sim_a.rng.draws == sim_b.rng.draws
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(4, 14),
+    degree=st.floats(3.0, 7.0),
+    graph_seed=st.integers(0, 10**6),
+    wake_seed=st.integers(0, 10**6),
+    sim_seed=st.integers(0, 10**6),
+    wake_window=st.sampled_from([0, 25, 120]),
+    block=st.sampled_from(BLOCK_SIZES),
+    loss_prob=st.sampled_from([0.0, 0.15]),
+    check_every=st.sampled_from([1, 4, 16]),
+    stop=st.booleans(),
+)
+def test_blocked_equals_per_slot_property(
+    n, degree, graph_seed, wake_seed, sim_seed, wake_window, block,
+    loss_prob, check_every, stop,
+):
+    """Random world, random stepping knobs: blocked == per-slot."""
+    dep, params, wake = _world(n, degree, graph_seed, wake_seed, wake_window)
+    kwargs = dict(seed=sim_seed, loss_prob=loss_prob, max_slots=350,
+                  check_every=check_every, stop=stop)
+    _assert_identical(
+        _run(dep, params, wake, block=1, **kwargs),
+        _run(dep, params, wake, block=block, **kwargs),
+    )
+
+
+@pytest.mark.parametrize("block", [2, 64, 1_000_000])
+def test_blocked_full_coloring_run(block):
+    """run_coloring(block=...) reproduces the per-slot run to the end:
+    same colors, same exact stop slot, same metric totals."""
+    dep = random_udg(24, expected_degree=6, seed=3, connected=True)
+    base = run_coloring(dep, seed=7, node_cls=BernoulliColoringNode)
+    blocked = run_coloring(dep, seed=7, node_cls=BernoulliColoringNode, block=block)
+    assert blocked.completed and blocked.proper
+    assert np.array_equal(base.colors, blocked.colors)
+    assert base.slots == blocked.slots
+    assert (
+        base.trace.channel_metrics.totals() == blocked.trace.channel_metrics.totals()
+    )
+
+
+def test_blocked_multichannel_identical():
+    """Block stepping composes with the multichannel PHY (the PHY's hop
+    stream is drawn per fire slot only, so skipping empty spans must not
+    disturb it)."""
+    dep, params, wake = _world(12, 5.0, 11, 12, 40)
+    kwargs = dict(seed=5, channels=2, max_slots=600, check_every=1, stop=True)
+    _assert_identical(
+        _run(dep, params, wake, block=1, **kwargs),
+        _run(dep, params, wake, block=29, **kwargs),
+    )
+
+
+def test_blocked_stop_is_localized_to_check_boundary():
+    """Early stop inside a bulk-advanced empty run lands on exactly the
+    check_every boundary the per-slot loop would have stopped at, for
+    every granularity."""
+    dep, params, wake = _world(10, 4.0, 21, 22, 30)
+    for check_every in (1, 5, 16, 100):
+        per_slot = _run(dep, params, wake, seed=9, block=1, max_slots=30_000,
+                        check_every=check_every, stop=True)
+        blocked = _run(dep, params, wake, seed=9, block=512, max_slots=30_000,
+                       check_every=check_every, stop=True)
+        assert per_slot[2].slots == blocked[2].slots, f"check_every={check_every}"
+        assert per_slot[2].stopped_early and blocked[2].stopped_early
+
+
+def test_blocked_metrics_are_slot_exact_without_stop():
+    """Fixed horizon, no stop predicate: the bulk empty-run appends must
+    produce one metrics row per slot, not aggregates."""
+    dep, params, wake = _world(8, 4.0, 31, 32, 50)
+    sim, _, res = _run(dep, params, wake, seed=4, block=128, max_slots=300)
+    assert res.slots == 300
+    assert len(sim.trace.channel_metrics) == 300
+    # Every slot's protocol_draws is exactly n on the vectorized path,
+    # whether the slot was simulated individually or inside a bulk span.
+    draws = sim.trace.channel_metrics.as_arrays()["protocol_draws"]
+    assert np.array_equal(draws, np.full(300, dep.n))
+
+
+def test_run_rejects_invalid_block():
+    dep, params, wake = _world(6, 3.0, 41, 42, 0)
+    sim, _, _ = _run(dep, params, wake, seed=1, block=1, max_slots=1)
+    with pytest.raises(ValueError, match="block"):
+        sim.run(10, block=0)
+
+
+def test_classic_path_accepts_block():
+    """block > 1 on the classic (non-vectorized) path falls back to the
+    per-slot base implementation — same results, no crash."""
+    dep = random_udg(12, expected_degree=5, seed=51, connected=True)
+    base = run_coloring(dep, seed=13)
+    blocked = run_coloring(dep, seed=13, block=64)
+    assert np.array_equal(base.colors, blocked.colors)
+    assert base.slots == blocked.slots
