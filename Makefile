@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction harness.
 
-.PHONY: install test lint bench bench-smoke bench-json bench-check conform full-bench report tour clean
+.PHONY: install test lint staticcheck typecheck bench bench-smoke bench-json bench-check conform full-bench report tour clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -8,10 +8,23 @@ install:
 test:
 	pytest tests/
 
-# Static checks (CI runs the same invocation; `pip install ruff` or
-# `pip install -e .[lint]` locally).
-lint:
+# Static checks (CI runs the same invocations; `pip install -e .[lint]`
+# locally for ruff + mypy — staticcheck itself is stdlib-only).
+lint: staticcheck
 	ruff check src tests
+	$(MAKE) typecheck
+
+# Determinism-contract gate (rules RPR001-RPR005 over src/repro,
+# ratcheted against staticcheck-baseline.json).  Pure stdlib — runs
+# from a clean checkout with no installs.
+staticcheck:
+	PYTHONPATH=src python -m repro staticcheck src/repro
+
+# Strict typing gate for the determinism-critical packages
+# (repro.core, repro.radio, repro._util); the rest of the tree is on
+# the ratchet list in pyproject.toml [tool.mypy] overrides.
+typecheck:
+	mypy -p repro
 
 # Dual-path conformance: the quick scenario matrix plus a short seeded
 # fuzz (<= 30s wall clock total).  Exits nonzero with a slot/node-level

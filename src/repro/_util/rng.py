@@ -14,10 +14,14 @@ sweeps (one child per run) remain statistically independent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
 __all__ = ["RngMeter", "RngStream", "spawn_generator", "stable_seed"]
+
+#: shape argument accepted by the metered sampling methods.
+_Size = int | tuple[int, ...] | None
 
 
 def spawn_generator(seed: int | None, *keys: int) -> np.random.Generator:
@@ -84,7 +88,7 @@ class RngMeter:
         self.calls = 0  #: sampling calls made so far
 
     @staticmethod
-    def _size_of(size) -> int:
+    def _size_of(size: _Size) -> int:
         if size is None:
             return 1
         if isinstance(size, tuple):
@@ -94,32 +98,40 @@ class RngMeter:
             return out
         return int(size)
 
-    def _count(self, size) -> None:
+    def _count(self, size: _Size) -> None:
         self.calls += 1
         self.draws += self._size_of(size)
 
     # -- metered sampling methods (the ones the hot paths use) ----------
-    def random(self, size=None, *args, **kwargs):
+    def random(self, size: _Size = None, *args: Any, **kwargs: Any) -> Any:
         """Metered :meth:`numpy.random.Generator.random`."""
         self._count(size)
         return self.generator.random(size, *args, **kwargs)
 
-    def geometric(self, p, size=None):
+    def geometric(self, p: float | np.ndarray, size: _Size = None) -> Any:
         """Metered :meth:`numpy.random.Generator.geometric`."""
         self._count(size)
         return self.generator.geometric(p, size)
 
-    def integers(self, low, high=None, size=None, **kwargs):
+    def integers(
+        self,
+        low: int | np.ndarray,
+        high: int | np.ndarray | None = None,
+        size: _Size = None,
+        **kwargs: Any,
+    ) -> Any:
         """Metered :meth:`numpy.random.Generator.integers`."""
         self._count(size)
         return self.generator.integers(low, high, size, **kwargs)
 
-    def uniform(self, low=0.0, high=1.0, size=None):
+    def uniform(
+        self, low: float = 0.0, high: float = 1.0, size: _Size = None
+    ) -> Any:
         """Metered :meth:`numpy.random.Generator.uniform`."""
         self._count(size)
         return self.generator.uniform(low, high, size)
 
-    def exponential(self, scale=1.0, size=None):
+    def exponential(self, scale: float = 1.0, size: _Size = None) -> Any:
         """Metered :meth:`numpy.random.Generator.exponential`."""
         self._count(size)
         return self.generator.exponential(scale, size)
@@ -160,7 +172,7 @@ class RngMeter:
         """Spawn independent children (consumes no draws; not metered)."""
         return self.generator.spawn(n_children)
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         # Fallback for anything else (permutation, choice, bit_generator,
         # ...): delegate, uncounted.
         return getattr(self.generator, name)

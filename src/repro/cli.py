@@ -15,6 +15,11 @@ Commands
     optional budgeted fuzzing, or a single replayed scenario.  Exits
     nonzero with a slot/node-level divergence report if the engine's
     compatibility and vectorized paths ever disagree.
+``staticcheck``
+    Run the determinism-contract static analyzer (rules RPR001-RPR005)
+    over ``src/repro`` against the pinned baseline.  Exits nonzero with
+    a diff-style ``+ file:line: RULE message`` report on any new
+    violation.
 ``list``
     List the available experiments with their claims.
 """
@@ -196,6 +201,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "stepping instead of the classic-vs-vectorized comparison "
         "(0 = off)",
     )
+
+    staticcheck = sub.add_parser(
+        "staticcheck",
+        help="determinism-contract static analyzer (RPR001-RPR005) with "
+        "pinned-baseline ratchet",
+    )
+    from repro.staticcheck.cli import add_arguments as _staticcheck_arguments
+
+    _staticcheck_arguments(staticcheck)
 
     sub.add_parser("list", help="list available experiments")
     return parser
@@ -392,6 +406,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_kappa(args)
     if args.command == "conform":
         return _cmd_conform(args)
+    if args.command == "staticcheck":
+        from repro.staticcheck.cli import run as _staticcheck_run
+
+        return _staticcheck_run(args)
     if args.command == "list":
         return _cmd_list()
     raise AssertionError("unreachable")  # pragma: no cover

@@ -48,7 +48,7 @@ def canonical_slot_events(
     out: dict[tuple[int, str], list] = {}
     for e in events:
         out.setdefault((e.node, e.kind), []).append((e.slot, _freeze(e.data)))
-    return {k: tuple(v) for k, v in out.items()}
+    return {k: tuple(v) for k, v in out.items()}  # repro: noqa RPR002 -- rebuilds a dict that callers compare key-by-key over sorted(keys | keys); its iteration order never reaches an observable
 
 
 @dataclass(frozen=True)

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._util import spawn_generator
 from repro.conform.divergence import ConformanceReport, Divergence, localize_slot
 from repro.conform.scenarios import Scenario
 from repro.core.params import Parameters, suggested_max_slots
@@ -73,10 +74,14 @@ class SlotUniformSource:
     ``tx_prob`` of node ``v`` in slot ``t``.  Slots must be consumed in
     order (the stream cannot rewind); the current slot's vector is
     cached so all ``n`` shims share one draw.
+
+    The generator is injected (built with
+    :func:`repro._util.spawn_generator` and the conformance spawn key)
+    so the source never constructs raw RNG state itself.
     """
 
-    def __init__(self, seed_seq: np.random.SeedSequence, n: int) -> None:
-        self._rng = np.random.Generator(np.random.PCG64(seed_seq))
+    def __init__(self, rng: np.random.Generator, n: int) -> None:
+        self._rng = rng
         self.n = n
         self._slot = -1
         self._u: np.ndarray | None = None
@@ -177,23 +182,23 @@ def build_lockstep(
     """
     n = dep.n
 
-    def seed_seq() -> np.random.SeedSequence:
-        # Three *equal but distinct* SeedSequence instances: each PCG64
-        # stream starts identically, and each engine spawns its own loss
-        # child from its own (fresh) spawn counter, so the loss streams
+    def conform_rng() -> np.random.Generator:
+        # Three *equal but distinct* generators: each PCG64 stream
+        # starts identically, and each engine spawns its own loss child
+        # from its own (fresh) spawn counter, so the loss streams
         # coincide too.
-        return np.random.SeedSequence(entropy=seed, spawn_key=(_CONFORM_KEY,))
+        return spawn_generator(seed, _CONFORM_KEY)
 
     trace_a = TraceRecorder(n, level=2)
     trace_b = TraceRecorder(n, level=2)
-    source = SlotUniformSource(seed_seq(), n)
+    source = SlotUniformSource(conform_rng(), n)
     inner = [node_cls(v, params, trace_a) for v in range(n)]
     shims = [StepShimNode(node, source) for node in inner]
     classic = RadioSimulator(
         dep,
         shims,
         wake_slots,
-        rng=np.random.Generator(np.random.PCG64(seed_seq())),
+        rng=conform_rng(),
         trace=trace_a,
         loss_prob=loss_prob,
         phy=phy_factory() if phy_factory is not None else None,
@@ -205,7 +210,7 @@ def build_lockstep(
         dep,
         vec_nodes,
         wake_slots,
-        rng=np.random.Generator(np.random.PCG64(seed_seq())),
+        rng=conform_rng(),
         trace=trace_b,
         loss_prob=loss_prob,
         vectorized=True,
@@ -360,8 +365,8 @@ def run_block_lockstep(
         raise ValueError(f"block must be >= 1, got {block}")
     n = dep.n
 
-    def seed_seq() -> np.random.SeedSequence:
-        return np.random.SeedSequence(entropy=seed, spawn_key=(_CONFORM_KEY,))
+    def conform_rng() -> np.random.Generator:
+        return spawn_generator(seed, _CONFORM_KEY)
 
     trace_a = TraceRecorder(n, level=2)
     trace_b = TraceRecorder(n, level=2)
@@ -373,7 +378,7 @@ def run_block_lockstep(
             dep,
             nodes,
             wake_slots,
-            rng=np.random.Generator(np.random.PCG64(seed_seq())),
+            rng=conform_rng(),
             trace=trace,
             loss_prob=loss_prob,
             vectorized=True,
@@ -507,22 +512,22 @@ def run_unaligned_lockstep(
     if max_slots < 2:
         raise ValueError(f"unaligned lockstep needs max_slots >= 2, got {max_slots}")
 
-    def seed_seq() -> np.random.SeedSequence:
-        return np.random.SeedSequence(entropy=seed, spawn_key=(_CONFORM_KEY,))
+    def conform_rng() -> np.random.Generator:
+        return spawn_generator(seed, _CONFORM_KEY)
 
     trace_a = TraceRecorder(n, level=2)
     trace_b = TraceRecorder(n, level=2)
     # Each side gets its own (identically-seeded) source object; the
     # nodes of one side share theirs via the per-slot cache.
-    src_a = SlotUniformSource(seed_seq(), n)
-    src_b = SlotUniformSource(seed_seq(), n)
+    src_a = SlotUniformSource(conform_rng(), n)
+    src_b = SlotUniformSource(conform_rng(), n)
     nodes_a = [SourcedBeaconNode(v, tx_prob, src_a) for v in range(n)]
     nodes_b = [SourcedBeaconNode(v, tx_prob, src_b) for v in range(n)]
     aligned = RadioSimulator(
         dep,
         nodes_a,
         wake_slots,
-        rng=np.random.Generator(np.random.PCG64(seed_seq())),
+        rng=conform_rng(),
         trace=trace_a,
         loss_prob=loss_prob,
     )
@@ -530,7 +535,7 @@ def run_unaligned_lockstep(
         dep,
         nodes_b,
         wake_slots,
-        rng=np.random.Generator(np.random.PCG64(seed_seq())),
+        rng=conform_rng(),
         trace=trace_b,
         loss_prob=loss_prob,
         offsets=np.zeros(n, dtype=float),
@@ -566,7 +571,7 @@ def run_unaligned_lockstep(
 
     def _totals(trace: TraceRecorder) -> dict[str, int]:
         arrays = trace.channel_metrics.as_arrays()
-        return {name: int(arr[:compared].sum()) for name, arr in arrays.items()}
+        return {name: int(arr[:compared].sum()) for name, arr in arrays.items()}  # repro: noqa RPR002 -- as_arrays() keys follow the fixed ChannelMetrics.FIELDS order and the result is compared as a dict (order-blind)
 
     return ConformanceReport(
         scenario=scenario,

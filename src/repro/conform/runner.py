@@ -163,10 +163,10 @@ def fuzz(
     if budget_s <= 0:
         raise ValueError(f"budget_s must be positive, got {budget_s}")
     result = FuzzResult()
-    t0 = time.monotonic()
+    t0 = time.monotonic()  # repro: noqa RPR003 -- fuzz wall-clock budget: decides only how many scenarios run, never any scenario's content (stream is fixed by master_seed)
     for count, scenario in enumerate(random_scenarios(master_seed), start=1):
         result.reports.append(run_scenario(scenario))
-        result.elapsed_s = time.monotonic() - t0
+        result.elapsed_s = time.monotonic() - t0  # repro: noqa RPR003 -- telemetry only; see budget note above
         if not result.reports[-1].ok:
             break
         if max_scenarios is not None and count >= max_scenarios:
@@ -174,5 +174,5 @@ def fuzz(
         if result.elapsed_s >= budget_s:
             result.budget_exhausted = True
             break
-    result.elapsed_s = time.monotonic() - t0
+    result.elapsed_s = time.monotonic() - t0  # repro: noqa RPR003 -- telemetry only; see budget note above
     return result

@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.node import ColoringNode
 from repro.core.params import Parameters, suggested_max_slots
 from repro.core.protocol import build_simulator
+from repro.radio.engine import RadioSimulator
 from repro.graphs.deployment import Deployment
 from repro.radio.trace import TraceRecorder
 
@@ -94,7 +95,7 @@ def run_mis(
     def covered(node: ColoringNode) -> bool:
         return node.color == 0 or node.leader is not None
 
-    def stop(s) -> bool:
+    def stop(s: RadioSimulator) -> bool:
         done = True
         for v, node in enumerate(nodes):
             if covered(node):

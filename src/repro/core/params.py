@@ -33,8 +33,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro._util import ceil_log
+
+if TYPE_CHECKING:
+    from repro.graphs.deployment import Deployment
 
 __all__ = ["Parameters", "paper_time_bound", "suggested_max_slots"]
 
@@ -138,7 +142,13 @@ class Parameters:
         )
 
     @classmethod
-    def for_deployment(cls, dep, *, regime: str = "practical", **kwargs) -> "Parameters":
+    def for_deployment(
+        cls,
+        dep: "Deployment",
+        *,
+        regime: str = "practical",
+        **kwargs: float,
+    ) -> "Parameters":
         """Derive parameters from a deployment by measuring ``Delta`` and
         the exact ``kappa`` values (clamped to the protocol minimums)."""
         from repro.graphs.independence import kappas
@@ -153,7 +163,7 @@ class Parameters:
             raise ValueError(f"unknown regime {regime!r}")
         return factory(n, delta, k1, k2, **kwargs)
 
-    def with_overrides(self, **kwargs) -> "Parameters":
+    def with_overrides(self, **kwargs: float) -> "Parameters":
         """Return a copy with some fields replaced (ablation sweeps)."""
         return replace(self, **kwargs)
 

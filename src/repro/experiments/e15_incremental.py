@@ -26,6 +26,7 @@ from functools import partial
 
 import numpy as np
 
+from repro._util import spawn_generator
 from repro.analysis import verify_run
 from repro.core import Parameters, run_coloring
 from repro.experiments.runner import Table, sweep_seeds
@@ -37,7 +38,9 @@ __all__ = ["run"]
 def _one(seed: int, n_base: int, n_join: int, degree: float) -> dict:
     n = n_base + n_join
     dep = random_udg(n, expected_degree=degree, seed=seed)
-    rng = np.random.default_rng(seed)
+    # spawn_generator(seed) is stream-identical to default_rng(seed)
+    # (empty spawn key), so the joiner choice below is unchanged.
+    rng = spawn_generator(seed)
     joiners = rng.choice(n, size=n_join, replace=False)
     is_joiner = np.zeros(n, dtype=bool)
     is_joiner[joiners] = True

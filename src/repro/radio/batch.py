@@ -26,6 +26,7 @@ transmission matrices (``tests/test_radio_batch.py``).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -43,7 +44,7 @@ __all__ = [
 ]
 
 
-def _csr_from_lists(lists, n: int) -> sparse.csr_matrix:
+def _csr_from_lists(lists: Sequence[np.ndarray], n: int) -> sparse.csr_matrix:
     """0/1 CSR matrix whose row ``v`` marks ``lists[v]`` — built directly
     from the engine's shared CSR arrays (:func:`~repro.radio.channel.
     csr_arrays`), one source of truth for adjacency layout and no Python

@@ -53,8 +53,9 @@ interface.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol
 
 import numpy as np
 
@@ -62,6 +63,12 @@ from repro.graphs.deployment import Deployment
 from repro.radio.messages import Message, message_bits
 from repro.radio.trace import TraceRecorder
 from repro._util import RngMeter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.radio.node import ProtocolNode
+
+#: one PHY candidate row: (listener, overlap count, message, eligible).
+Candidate = tuple[int, int, "Message | None", bool]
 
 __all__ = [
     "ChannelCore",
@@ -109,6 +116,7 @@ class SimulationResult:
 
     @property
     def timed_out(self) -> bool:
+        """Whether the run exhausted its slot budget without stopping."""
         return not self.stopped_early
 
 
@@ -153,7 +161,7 @@ class ChannelCore:
 
     def __init__(
         self,
-        nodes: Sequence,
+        nodes: "Sequence[ProtocolNode]",
         trace: TraceRecorder,
         rng: RngMeter,
         *,
@@ -198,7 +206,7 @@ class ChannelCore:
         outbox.append((v, msg))
         self.trace.tx(t, v, msg)
 
-    def deliver(self, t, candidates) -> tuple[int, int, int]:
+    def deliver(self, t: int, candidates: Iterable[Candidate]) -> tuple[int, int, int]:
         """Apply the delivery law to candidate rows, in the order given.
 
         ``candidates`` yields ``(listener, count, msg, eligible)`` rows —
@@ -219,7 +227,7 @@ class ChannelCore:
         for u, count, msg, eligible in candidates:
             if not eligible:
                 continue
-            if count == 1:
+            if count == 1 and msg is not None:
                 if loss_rng is not None and loss_rng.random() < self.loss_prob:
                     lost += 1  # injected fading loss: silent, like a collision
                 else:
@@ -232,6 +240,16 @@ class ChannelCore:
                 trace.collision(t, u, int(count))
                 collided += 1
         return delivered, collided, lost
+
+
+class PhyHost(Protocol):
+    """What a simulator must expose for a :class:`PhyModel` to bind to
+    it: the deployment, the node list, and the metered protocol stream
+    (side streams are spawned from it)."""
+
+    deployment: Deployment
+    nodes: "Sequence[ProtocolNode]"
+    rng: RngMeter
 
 
 class PhyModel(ABC):
@@ -247,7 +265,15 @@ class PhyModel(ABC):
     #: short identifier used in scenario labels and CLI flags.
     name = "phy"
 
-    def bind(self, sim) -> None:
+    sim: PhyHost
+    _nodes: "Sequence[ProtocolNode]"
+    _indptr: np.ndarray
+    _indices: np.ndarray
+    _recv_count: np.ndarray
+    _incoming: list[Message | None]
+    _transmitting: np.ndarray
+
+    def bind(self, sim: PhyHost) -> None:
         """Attach to ``sim`` (must expose ``deployment``, ``nodes`` and a
         metered ``rng``).  Called once, at simulator construction."""
         self.sim = sim
@@ -263,7 +289,7 @@ class PhyModel(ABC):
     @abstractmethod
     def resolve(
         self, slot: int, outbox: list[tuple[int, Message]]
-    ) -> list[tuple[int, int, Message | None, bool]]:
+    ) -> list[Candidate]:
         """Return ``(listener, count, msg, eligible)`` rows, ascending in
         listener id.  ``count`` is the number of transmissions the
         listener's slot overlaps under this PHY; ``msg`` is the unique
@@ -280,7 +306,9 @@ class CollisionPhy(PhyModel):
 
     name = "collision"
 
-    def resolve(self, slot, outbox):
+    def resolve(
+        self, slot: int, outbox: list[tuple[int, Message]]
+    ) -> list[Candidate]:
         """Scatter each transmission to its neighbors; emit candidates
         in ascending listener order (the canonical-order contract)."""
         recv_count = self._recv_count
@@ -297,7 +325,7 @@ class CollisionPhy(PhyModel):
                     incoming[u] = msg
                 recv_count[u] += 1
         touched.sort()
-        candidates = []
+        candidates: list[Candidate] = []
         for u in touched:
             candidates.append(
                 (u, int(recv_count[u]), incoming[u],
@@ -338,14 +366,19 @@ class MultiChannelPhy(PhyModel):
             raise ValueError(f"channels must be >= 1, got {channels}")
         self.channels = int(channels)
 
-    def bind(self, sim) -> None:
+    def bind(self, sim: PhyHost) -> None:
         """Attach to ``sim`` and spawn the metered hop side stream."""
         super().bind(sim)
         # Side-stream isolation: hopping draws never touch the protocol
         # stream (metered separately; see channel_draws).
         self._hop_rng = RngMeter(sim.rng.spawn(1)[0])
-        self._reporters = [
-            v for v, node in enumerate(self._nodes) if hasattr(node, "pick_channel")
+        # (vid, bound pick_channel) for protocol-controlled hoppers;
+        # fetched via getattr since pick_channel is an optional protocol
+        # extension, not part of the ProtocolNode interface.
+        self._reporters: list[tuple[int, Callable[[int], int]]] = [
+            (v, getattr(node, "pick_channel"))
+            for v, node in enumerate(self._nodes)
+            if hasattr(node, "pick_channel")
         ]
         self._chan = np.zeros(sim.deployment.n, dtype=np.int64)
 
@@ -361,8 +394,8 @@ class MultiChannelPhy(PhyModel):
         chan = self._chan
         n = len(chan)
         chan[:] = self._hop_rng.integers(0, self.channels, size=n)
-        for v in self._reporters:
-            c = int(self._nodes[v].pick_channel(slot))
+        for v, pick in self._reporters:
+            c = int(pick(slot))
             if not 0 <= c < self.channels:
                 raise ValueError(
                     f"node {v} picked channel {c} outside [0, {self.channels})"
@@ -370,7 +403,9 @@ class MultiChannelPhy(PhyModel):
             chan[v] = c
         return chan
 
-    def resolve(self, slot, outbox):
+    def resolve(
+        self, slot: int, outbox: list[tuple[int, Message]]
+    ) -> list[Candidate]:
         """Like :meth:`CollisionPhy.resolve`, but only same-channel
         neighbors are touched; the hop vector is drawn lazily so idle
         slots consume nothing from the side stream."""
@@ -394,7 +429,7 @@ class MultiChannelPhy(PhyModel):
                     incoming[u] = msg
                 recv_count[u] += 1
         touched.sort()
-        candidates = []
+        candidates: list[Candidate] = []
         for u in touched:
             candidates.append(
                 (u, int(recv_count[u]), incoming[u],

@@ -66,7 +66,7 @@ changes three experiments later.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -219,6 +219,7 @@ class RadioSimulator(SlotSteppedSimulator):
     # ------------------------------------------------------------------
     @property
     def all_woken(self) -> bool:
+        """Whether every node's wake slot has passed."""
         return self._next_wake >= len(self._wake_order)
 
     def _refresh(self, v: int) -> None:
@@ -320,7 +321,7 @@ class RadioSimulator(SlotSteppedSimulator):
     def step_block(
         self,
         count: int,
-        stop_when=None,
+        stop_when: Callable[[SlotSteppedSimulator], bool] | None = None,
         check_every: int = 16,
     ) -> bool:
         """Advance up to ``count`` slots, paying Python per-slot cost only
@@ -367,8 +368,9 @@ class RadioSimulator(SlotSteppedSimulator):
         seg_lo = seg_hi = t
         hits: np.ndarray | None = None  # ascending candidate fire slots, cover to hits_hi
         hits_hi = t
-        active: np.ndarray | None = None  # columns with p > 0
-        gen = -1  # state generation the caches were computed at
+        active = np.empty(0, dtype=np.int64)  # columns with p > 0
+        gen = -1  # state generation the caches were computed at (forces
+        # an `active` recompute before first use)
 
         def boundary(lo: int, hi: int) -> int | None:
             """First stop-check slot counter in [lo, hi], or None."""

@@ -72,11 +72,15 @@ class ChannelMetrics:
 
     FIELDS = ("tx", "rx", "collisions", "lost", "protocol_draws", "loss_draws")
 
-    __slots__ = FIELDS
+    __slots__ = ("tx", "rx", "collisions", "lost", "protocol_draws", "loss_draws")
 
     def __init__(self) -> None:
-        for name in self.FIELDS:
-            setattr(self, name, [])
+        self.tx: list[int] = []
+        self.rx: list[int] = []
+        self.collisions: list[int] = []
+        self.lost: list[int] = []
+        self.protocol_draws: list[int] = []
+        self.loss_draws: list[int] = []
 
     def append(
         self,

@@ -1,0 +1,35 @@
+"""Determinism-contract static analyzer (``repro staticcheck``).
+
+An AST-based gate over ``src/repro`` that machine-checks the
+determinism contract the golden pins and lockstep conformance matrices
+rest on (DESIGN.md): named rules RPR001–RPR005, mandatory-justification
+suppressions (``# repro: noqa RPR0xx -- why``), and a pinned baseline
+that only ratchets down.  The subsystem itself is pure stdlib — no
+third-party imports of its own — so the gate's behavior can never
+depend on the numeric stack it polices.
+"""
+
+from repro.staticcheck.baseline import Baseline, BaselineDiff, count_violations
+from repro.staticcheck.checker import (
+    CheckResult,
+    check_paths,
+    check_source,
+    contract_relpath,
+)
+from repro.staticcheck.cli import main
+from repro.staticcheck.rules import RULE_IDS, RULES, Rule, Violation
+
+__all__ = [
+    "Baseline",
+    "BaselineDiff",
+    "CheckResult",
+    "Rule",
+    "RULES",
+    "RULE_IDS",
+    "Violation",
+    "check_paths",
+    "check_source",
+    "contract_relpath",
+    "count_violations",
+    "main",
+]

@@ -1,0 +1,188 @@
+"""File scanning, suppression parsing, and violation collection.
+
+Suppression syntax (justification is mandatory)::
+
+    do_something()  # repro: noqa RPR002 -- chi is order-independent (Lemma 7)
+
+A ``# repro: noqa`` comment must name at least one rule *and* carry a
+justification after ``--``; anything else (blanket noqa, missing
+justification) is itself reported as **RPR000 malformed suppression**,
+which cannot be suppressed.  Suppressions apply to violations reported
+on the same physical line.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.staticcheck.rules import Violation, run_rules
+
+__all__ = ["CheckResult", "check_source", "check_paths", "contract_relpath"]
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\b(?P<rest>.*)$")
+_RULE_RE = re.compile(r"\bRPR\d{3}\b")
+
+
+def contract_relpath(path: Path) -> str:
+    """Path below the ``repro`` package directory, POSIX-style.
+
+    ``src/repro/radio/engine.py`` → ``radio/engine.py`` regardless of
+    where the tree was checked out or copied (rule scoping and baseline
+    keys must survive scans of temporary copies).  Files outside any
+    ``repro`` directory keep only their name — they are treated as
+    loose fixtures to which every rule applies.
+    """
+    parts = path.resolve().parts
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        tail = parts[idx + 1 :]
+        if tail:
+            return "/".join(tail)
+    return path.name
+
+
+@dataclass
+class _Suppressions:
+    """Per-line rule suppressions plus malformed-comment violations."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    malformed: list[Violation] = field(default_factory=list)
+    used_lines: set[int] = field(default_factory=set)
+
+    def suppresses(self, violation: Violation) -> bool:
+        rules = self.by_line.get(violation.line)
+        if rules is not None and violation.rule in rules:
+            self.used_lines.add(violation.line)
+            return True
+        return False
+
+    def unused(self) -> list[int]:
+        return sorted(set(self.by_line) - self.used_lines)
+
+
+def _comment_tokens(source: str) -> Iterable[tuple[int, int, str]]:
+    """(line, col, text) for every real comment token.  Tokenizing (not
+    line-regexing) keeps noqa syntax mentioned inside docstrings — like
+    this module's own — from being parsed as a suppression."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.start[1], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable source is reported via ast.parse as RPR000.
+        return
+
+
+def _parse_suppressions(source: str, path: str, key_path: str) -> _Suppressions:
+    supp = _Suppressions()
+    for lineno, col, comment in _comment_tokens(source):
+        match = _NOQA_RE.search(comment)
+        if match is None:
+            continue
+        rest = match.group("rest")
+        rules = _RULE_RE.findall(rest)
+        _, sep, justification = rest.partition("--")
+        if not rules or not sep or not justification.strip():
+            supp.malformed.append(
+                Violation(
+                    path=path,
+                    key_path=key_path,
+                    line=lineno,
+                    col=col,
+                    rule="RPR000",
+                    message=(
+                        "malformed suppression — syntax is "
+                        "'# repro: noqa RPR0xx -- <justification>' (rule list "
+                        "and justification are both mandatory)"
+                    ),
+                )
+            )
+            continue
+        supp.by_line.setdefault(lineno, set()).update(rules)
+    return supp
+
+
+@dataclass
+class CheckResult:
+    """Outcome of scanning one or more files."""
+
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    unused_noqa: list[str] = field(default_factory=list)  #: "path:line" notes
+    files: int = 0
+
+    def extend(self, other: "CheckResult") -> None:
+        """Merge another file's result into this aggregate."""
+        self.violations.extend(other.violations)
+        self.suppressed += other.suppressed
+        self.unused_noqa.extend(other.unused_noqa)
+        self.files += other.files
+
+
+def check_source(source: str, path: str, key_path: str | None = None) -> CheckResult:
+    """Check one module's source text.
+
+    ``key_path`` defaults to ``path`` and controls rule scoping (see
+    :func:`contract_relpath`).
+    """
+    if key_path is None:
+        key_path = path
+    result = CheckResult(files=1)
+    supp = _parse_suppressions(source, path, key_path)
+    result.violations.extend(supp.malformed)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        result.violations.append(
+            Violation(
+                path=path,
+                key_path=key_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule="RPR000",
+                message=f"syntax error: {exc.msg}",
+            )
+        )
+        return result
+    for violation in run_rules(tree, path, key_path):
+        if supp.suppresses(violation):
+            result.suppressed += 1
+        else:
+            result.violations.append(violation)
+    result.unused_noqa.extend(f"{path}:{line}" for line in supp.unused())
+    result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return result
+
+
+def _iter_py_files(root: Path) -> Iterable[Path]:
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" not in path.parts:
+            yield path
+
+
+def check_paths(paths: Sequence[Path | str]) -> CheckResult:
+    """Check every ``*.py`` file under the given files/directories."""
+    total = CheckResult()
+    for given in paths:
+        root = Path(given)
+        for file_path in _iter_py_files(root):
+            source = file_path.read_text(encoding="utf-8")
+            total.extend(
+                check_source(
+                    source,
+                    path=str(file_path),
+                    key_path=contract_relpath(file_path),
+                )
+            )
+    total.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return total

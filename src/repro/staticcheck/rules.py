@@ -1,0 +1,603 @@
+"""Determinism-contract rules RPR001–RPR005.
+
+Every headline guarantee of this reproduction — byte-identical golden
+pins, the lockstep conformance matrices, stream-identical block
+stepping — rests on the determinism contract of DESIGN.md: all
+randomness flows through metered, spawn-keyed streams, delivery order
+is canonical, and no simulation quantity depends on the wall clock,
+the environment, or unordered iteration.  These rules make the
+contract *machine-checked*: each one is a small :mod:`ast` visitor
+that knows which part of the package it polices.
+
+Rules
+-----
+RPR001
+    Raw RNG construction or use (the ``random`` module,
+    ``np.random.*``, bare ``default_rng``) anywhere outside
+    ``_util/rng.py``.  All draws must route through
+    :func:`repro._util.spawn_generator` / :class:`repro._util.RngMeter`
+    so streams are seed-derived, spawn-keyed, and metered.
+RPR002
+    Nondeterministic iteration: looping over a ``set``/``frozenset``
+    expression, or a dict view (``.keys()``/``.values()``/``.items()``),
+    without ``sorted(...)`` in the ``radio/``, ``core/`` and
+    ``conform/`` hot paths, where delivery order is canonical
+    ascending.  Dict views are insertion-ordered in CPython but the
+    contract requires the order to be *explicitly* canonical (or
+    provably order-independent, stated in a ``noqa`` justification).
+RPR003
+    Wall-clock and environment reads (``time.time``,
+    ``datetime.now``, ``os.urandom``, ``os.environ``, builtin
+    ``hash`` on salted types) in simulation code.  Telemetry-only
+    timing (``experiments/``, ``analysis/``) is out of scope.
+RPR004
+    Mutable default arguments (anywhere), and module- or class-level
+    mutable state in the node/simulator packages (``radio/``,
+    ``core/``) — shared mutable state leaks information between runs.
+RPR005
+    Float accumulation into slot counters.  The paper's
+    counter/critical-range machinery (Sect. 4) compares and resets
+    *exact integer* counters; ``slots += dt * 0.5`` style drift would
+    silently break the critical-range arithmetic.
+
+Scoping
+-------
+Paths are matched on their *contract-relative* form: the path below
+the ``repro`` package directory (``radio/engine.py``).  Files that do
+not live under a known ``repro`` subpackage (e.g. test fixtures) get
+every rule, so the rule tests can exercise each detector directly.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+__all__ = ["Violation", "Rule", "RULES", "RULE_IDS", "run_rules"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One contract violation at a source location.
+
+    ``path`` is the display path (as scanned); ``key_path`` the
+    contract-relative path used for scoping and baseline keys.
+    """
+
+    path: str
+    key_path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` display form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    @property
+    def baseline_key(self) -> str:
+        """``<contract-relpath>::<rule>`` — the baseline grouping key."""
+        return f"{self.key_path}::{self.rule}"
+
+
+# Top-level repro subpackages, used to decide whether a scanned file is
+# "inside the package" (scoped rules apply per directory) or a loose
+# fixture (every rule applies).
+_KNOWN_DIRS = frozenset(
+    {
+        "_util",
+        "graphs",
+        "radio",
+        "wakeup",
+        "core",
+        "baselines",
+        "analysis",
+        "tdma",
+        "experiments",
+        "conform",
+        "staticcheck",
+    }
+)
+
+
+def _top_dir(key_path: str) -> str | None:
+    """First path component for a file inside a subpackage; ``""`` for a
+    package-root module (``cli.py``, ``__init__.py`` — no directory
+    component); ``None`` for an unknown directory (loose fixture — all
+    rules apply, so the rule tests can exercise each detector)."""
+    if "/" not in key_path:
+        return ""
+    head = key_path.split("/", 1)[0]
+    return head if head in _KNOWN_DIRS else None
+
+
+def _in(key_path: str, dirs: frozenset[str]) -> bool:
+    top = _top_dir(key_path)
+    return top is None or top in dirs
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _RuleVisitor(ast.NodeVisitor):
+    """Base visitor: collects :class:`Violation` objects for one rule."""
+
+    rule_id = "RPR000"
+
+    def __init__(self, path: str, key_path: str) -> None:
+        self.path = path
+        self.key_path = key_path
+        self.violations: list[Violation] = []
+
+    def flag(self, node: ast.AST, message: str) -> None:
+        """Record a violation of this rule at ``node``'s location."""
+        self.violations.append(
+            Violation(
+                path=self.path,
+                key_path=self.key_path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule=self.rule_id,
+                message=message,
+            )
+        )
+
+
+# --------------------------------------------------------------------------
+# RPR001 — raw RNG construction / use
+# --------------------------------------------------------------------------
+
+_NP_RANDOM_CALL = re.compile(r"(?:^|\.)(?:np|numpy)\.random\.\w+$")
+# Functions of the stdlib `random` module we recognise on attribute
+# calls (guards against flagging an unrelated local named `random`).
+_STDLIB_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "seed",
+        "getrandbits",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "triangular",
+        "vonmisesvariate",
+        "Random",
+        "SystemRandom",
+    }
+)
+_RPR001_HINT = "— route randomness through repro._util.rng (spawn_generator / RngMeter)"
+
+
+class RPR001RawRng(_RuleVisitor):
+    """RPR001: raw RNG construction/use outside ``_util/rng.py``."""
+
+    rule_id = "RPR001"
+
+    def visit_Import(self, node: ast.Import) -> None:
+        """Flag ``import random`` / ``import numpy.random``."""
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("numpy.random"):
+                self.flag(node, f"raw RNG import '{alias.name}' {_RPR001_HINT}")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        """Flag ``from random/numpy.random import ...`` forms."""
+        mod = node.module or ""
+        if mod == "random" or mod.startswith("numpy.random"):
+            self.flag(node, f"raw RNG import 'from {mod} import ...' {_RPR001_HINT}")
+        elif mod == "numpy" and any(a.name == "random" for a in node.names):
+            self.flag(node, f"raw RNG import 'from numpy import random' {_RPR001_HINT}")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag ``np.random.*``, bare ``default_rng``, and known
+        ``random.<fn>`` calls."""
+        name = _dotted_name(node.func)
+        if name is not None:
+            if name == "default_rng" or _NP_RANDOM_CALL.search(name):
+                self.flag(node, f"raw RNG construction '{name}(...)' {_RPR001_HINT}")
+            else:
+                head, _, tail = name.rpartition(".")
+                if head == "random" and tail in _STDLIB_RANDOM_FNS:
+                    self.flag(node, f"stdlib RNG call '{name}(...)' {_RPR001_HINT}")
+        self.generic_visit(node)
+
+
+# --------------------------------------------------------------------------
+# RPR002 — nondeterministic iteration
+# --------------------------------------------------------------------------
+
+_VIEW_METHODS = frozenset({"keys", "values", "items"})
+_SETOP_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+# Builtins whose result does not depend on argument order: a
+# comprehension fed *directly* into one of these canonicalizes (or
+# ignores) the iteration order, so its unordered iterable is fine.
+_ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"sorted", "min", "max", "sum", "any", "all", "set", "frozenset"}
+)
+
+
+def _unordered_reason(expr: ast.expr) -> str | None:
+    """A short description if ``expr`` is an unordered collection
+    expression, else ``None``.  ``sorted(...)`` wrappers never match
+    (the call's own func is ``sorted``, not a set constructor)."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "set literal/comprehension"
+    if isinstance(expr, ast.Call):
+        name = _dotted_name(expr.func)
+        if name in ("set", "frozenset"):
+            return f"{name}(...)"
+        if isinstance(expr.func, ast.Attribute):
+            if expr.func.attr in _VIEW_METHODS:
+                return f"dict view .{expr.func.attr}()"
+            if expr.func.attr in _SETOP_METHODS:
+                return f"set operation .{expr.func.attr}()"
+    return None
+
+
+class RPR002UnorderedIteration(_RuleVisitor):
+    """RPR002: unordered set/dict-view iteration in hot paths."""
+
+    rule_id = "RPR002"
+
+    def __init__(self, path: str, key_path: str) -> None:
+        super().__init__(path, key_path)
+        self._exempt: set[int] = set()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Exempt comprehensions fed directly into order-insensitive
+        consumers (``sorted``, ``min``, ``sum``, ...)."""
+        if _dotted_name(node.func) in _ORDER_INSENSITIVE_CONSUMERS:
+            for arg in node.args:
+                if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+                    self._exempt.add(id(arg))
+        self.generic_visit(node)
+
+    def _check_iter(self, expr: ast.expr) -> None:
+        reason = _unordered_reason(expr)
+        if reason is not None:
+            self.flag(
+                expr,
+                f"iteration over {reason} without sorted(...) — delivery/visit "
+                "order must be canonical (or provably order-independent: "
+                "suppress with a justified noqa)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        """Check the loop's iterable."""
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(
+        self, node: ast.ListComp | ast.SetComp | ast.DictComp | ast.GeneratorExp
+    ) -> None:
+        """Check every generator clause of a comprehension."""
+        if id(node) not in self._exempt:
+            for gen in node.generators:
+                self._check_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+
+# --------------------------------------------------------------------------
+# RPR003 — wall-clock / environment reads
+# --------------------------------------------------------------------------
+
+_CLOCK_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.strftime",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+    "os.urandom",
+    "os.getenv",
+    "os.getpid",
+    "uuid.uuid1",
+    "uuid.uuid4",
+)
+
+
+class RPR003WallClock(_RuleVisitor):
+    """RPR003: wall-clock/environment reads in simulation code."""
+
+    rule_id = "RPR003"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag clock/env/uuid calls and the salted builtin ``hash``."""
+        name = _dotted_name(node.func)
+        if name is not None:
+            for suffix in _CLOCK_SUFFIXES:
+                if name == suffix or name.endswith("." + suffix):
+                    self.flag(
+                        node,
+                        f"wall-clock/environment read '{name}(...)' in simulation "
+                        "code — simulation state must be a function of (seed, "
+                        "deployment, parameters) only",
+                    )
+                    break
+            else:
+                if name == "hash":
+                    self.flag(
+                        node,
+                        "builtin hash(...) is PYTHONHASHSEED-dependent for "
+                        "str/bytes — use repro._util.rng.stable_seed or an "
+                        "explicit key function",
+                    )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        """Flag any ``os.environ`` access."""
+        if _dotted_name(node) == "os.environ":
+            self.flag(
+                node,
+                "os.environ read in simulation code — environment must not "
+                "influence simulation state",
+            )
+        self.generic_visit(node)
+
+
+# --------------------------------------------------------------------------
+# RPR004 — mutable defaults / shared mutable state
+# --------------------------------------------------------------------------
+
+_MUTABLE_CALLS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "defaultdict",
+        "deque",
+        "Counter",
+        "OrderedDict",
+        "collections.defaultdict",
+        "collections.deque",
+        "collections.Counter",
+        "collections.OrderedDict",
+    }
+)
+
+
+def _is_mutable_value(expr: ast.expr) -> bool:
+    if isinstance(
+        expr, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)
+    ):
+        return True
+    if isinstance(expr, ast.Call):
+        name = _dotted_name(expr.func)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _is_dunder_target(target: ast.expr) -> bool:
+    return (
+        isinstance(target, ast.Name)
+        and target.id.startswith("__")
+        and target.id.endswith("__")
+    )
+
+
+class RPR004MutableState(_RuleVisitor):
+    """Mutable default arguments everywhere; module/class-level mutable
+    assignments only where :func:`run_rules` says the state half of the
+    rule applies (node/simulator packages)."""
+
+    rule_id = "RPR004"
+
+    def __init__(self, path: str, key_path: str, check_state: bool) -> None:
+        super().__init__(path, key_path)
+        self.check_state = check_state
+
+    def run(self, tree: ast.Module) -> None:
+        """Two passes: defaults on every function; then module/class
+        bodies for shared mutable state (when in scope)."""
+        # Pass A: mutable defaults on every function, however nested.
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults: Iterable[ast.expr | None] = [
+                    *node.args.defaults,
+                    *node.args.kw_defaults,
+                ]
+                for default in defaults:
+                    if default is not None and _is_mutable_value(default):
+                        self.flag(
+                            default,
+                            f"mutable default argument in '{node.name}' — "
+                            "defaults are shared across calls; use None and "
+                            "construct per call",
+                        )
+        # Pass B: module/class-level mutable state (never descends into
+        # function bodies — instance attributes set in __init__ are fine).
+        if self.check_state:
+            self._check_body(tree.body, owner="module")
+
+    def _check_body(self, body: list[ast.stmt], owner: str) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                self._check_body(stmt.body, owner=f"class '{stmt.name}'")
+            elif isinstance(stmt, ast.Assign):
+                if any(_is_dunder_target(t) for t in stmt.targets):
+                    continue
+                if _is_mutable_value(stmt.value):
+                    self.flag(
+                        stmt,
+                        f"{owner}-level mutable state — shared containers leak "
+                        "state between runs/instances; build per instance or "
+                        "use an immutable value",
+                    )
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if not _is_dunder_target(stmt.target) and _is_mutable_value(stmt.value):
+                    self.flag(
+                        stmt,
+                        f"{owner}-level mutable state — shared containers leak "
+                        "state between runs/instances; build per instance or "
+                        "use an immutable value",
+                    )
+
+
+# --------------------------------------------------------------------------
+# RPR005 — float accumulation into slot counters
+# --------------------------------------------------------------------------
+
+_COUNTER_NAME = re.compile(
+    r"(?:^|_)(slot|slots|counter|counters|count|counts|draw|draws|"
+    r"call|calls|tick|ticks|epoch|epochs)(?:_|$)"
+)
+
+
+def _target_name(target: ast.expr) -> str | None:
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+def _has_float_arithmetic(expr: ast.expr) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return True
+    return False
+
+
+class RPR005FloatCounter(_RuleVisitor):
+    """RPR005: float accumulation into slot counters."""
+
+    rule_id = "RPR005"
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        """Flag ``/=`` and float-involving augmented assignment onto
+        counter-named targets."""
+        name = _target_name(node.target)
+        if name is not None and _COUNTER_NAME.search(name):
+            if isinstance(node.op, ast.Div):
+                self.flag(
+                    node,
+                    f"true division accumulated into counter '{name}' — slot "
+                    "counters must stay exact integers (Sect. 4 critical-range "
+                    "arithmetic); use //=",
+                )
+            elif _has_float_arithmetic(node.value):
+                self.flag(
+                    node,
+                    f"float arithmetic accumulated into counter '{name}' — slot "
+                    "counters must stay exact integers (Sect. 4 critical-range "
+                    "arithmetic)",
+                )
+        self.generic_visit(node)
+
+
+# --------------------------------------------------------------------------
+# Rule registry
+# --------------------------------------------------------------------------
+
+_RADIO_CORE_CONFORM = frozenset({"radio", "core", "conform"})
+_NODE_SIM_DIRS = frozenset({"radio", "core"})
+# RPR003: simulation code = everything except telemetry-flavoured
+# packages (experiment drivers, analysis reporting) and the CLI.
+_RPR003_EXEMPT = frozenset({"experiments", "analysis"})
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named contract rule: id, one-line title, path scope, and a
+    factory producing violations for one parsed module."""
+
+    rule_id: str
+    title: str
+    applies: Callable[[str], bool]
+    check: Callable[[ast.Module, str, str], list[Violation]]
+
+
+def _simple(visitor_cls: type[_RuleVisitor]) -> Callable[[ast.Module, str, str], list[Violation]]:
+    def check(tree: ast.Module, path: str, key_path: str) -> list[Violation]:
+        visitor = visitor_cls(path, key_path)
+        visitor.visit(tree)
+        return visitor.violations
+
+    return check
+
+
+def _check_rpr004(tree: ast.Module, path: str, key_path: str) -> list[Violation]:
+    visitor = RPR004MutableState(
+        path, key_path, check_state=_in(key_path, _NODE_SIM_DIRS)
+    )
+    visitor.run(tree)
+    return visitor.violations
+
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        "RPR001",
+        "raw RNG construction/use outside _util/rng.py",
+        lambda key_path: key_path != "_util/rng.py",
+        _simple(RPR001RawRng),
+    ),
+    Rule(
+        "RPR002",
+        "unordered set/dict-view iteration in radio/, core/, conform/",
+        lambda key_path: _in(key_path, _RADIO_CORE_CONFORM),
+        _simple(RPR002UnorderedIteration),
+    ),
+    Rule(
+        "RPR003",
+        "wall-clock/environment reads in simulation code",
+        lambda key_path: _top_dir(key_path) not in _RPR003_EXEMPT,
+        _simple(RPR003WallClock),
+    ),
+    Rule(
+        "RPR004",
+        "mutable default args; module/class mutable state in node/simulator code",
+        lambda key_path: True,
+        _check_rpr004,
+    ),
+    Rule(
+        "RPR005",
+        "float accumulation into slot counters",
+        lambda key_path: _in(key_path, _RADIO_CORE_CONFORM),
+        _simple(RPR005FloatCounter),
+    ),
+)
+
+RULE_IDS: tuple[str, ...] = tuple(rule.rule_id for rule in RULES)
+
+
+def run_rules(tree: ast.Module, path: str, key_path: str) -> Iterator[Violation]:
+    """Yield every violation of every in-scope rule for one module."""
+    for rule in RULES:
+        if rule.applies(key_path):
+            yield from rule.check(tree, path, key_path)

@@ -34,6 +34,7 @@ from repro.conform import (
     run_matrix,
     run_scenario,
 )
+from repro._util import spawn_generator
 from repro.radio.messages import CounterMessage
 from repro.radio.trace import TraceEvent
 
@@ -241,7 +242,7 @@ class TestHarnessPlumbing:
         """uniforms(t)[v] must be byte-identical to the t-th random(n)
         vector of an identically seeded generator."""
         seq = np.random.SeedSequence(entropy=7, spawn_key=(0xC04F,))
-        source = SlotUniformSource(np.random.SeedSequence(7, spawn_key=(0xC04F,)), 5)
+        source = SlotUniformSource(spawn_generator(7, 0xC04F), 5)
         reference = np.random.Generator(np.random.PCG64(seq))
         expected = [reference.random(5) for _ in range(4)]
         assert np.array_equal(source.uniforms(0), expected[0])

@@ -1,0 +1,413 @@
+"""Tests for the determinism-contract static analyzer.
+
+Three layers:
+
+- per-rule fixtures: a positive, a negative, and a justified-noqa
+  variant for each of RPR001-RPR005, checked through
+  :func:`repro.staticcheck.check_source` with explicit contract-relative
+  key paths (an *unknown* directory like ``fixtures/`` gets every rule;
+  known subpackage paths exercise the scoping table);
+- machinery: suppression parsing (malformed noqa is itself RPR000),
+  baseline diff/ratchet semantics, ``contract_relpath``;
+- the gate itself: a self-scan asserting the committed baseline exactly
+  matches a fresh run of the committed tree (so drift in either
+  direction fails tier-1), and an injection test asserting that a raw
+  ``np.random.default_rng()`` call or an unsorted set iteration added to
+  ``radio/engine.py`` flips the CLI to a non-zero exit naming the rule
+  and the file:line.
+"""
+
+import argparse
+import io
+import json
+import re
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import (
+    Baseline,
+    RULE_IDS,
+    RULES,
+    check_paths,
+    check_source,
+    contract_relpath,
+    count_violations,
+)
+from repro.staticcheck.cli import add_arguments, run
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "staticcheck-baseline.json"
+
+# An unknown directory: every rule applies (loose-fixture scoping).
+FIXTURE = "fixtures/mod.py"
+
+
+def rules_hit(source, key_path=FIXTURE):
+    """Rule ids flagged for ``source`` checked under ``key_path``."""
+    result = check_source(source, path=key_path, key_path=key_path)
+    return sorted({v.rule for v in result.violations})
+
+
+def violations(source, key_path=FIXTURE):
+    result = check_source(source, path=key_path, key_path=key_path)
+    return result.violations
+
+
+class TestRPR001RawRng:
+    def test_flags_default_rng_and_np_random(self):
+        assert rules_hit("rng = np.random.default_rng(0)\n") == ["RPR001"]
+        assert rules_hit("x = np.random.randint(0, 5)\n") == ["RPR001"]
+        assert rules_hit("rng = default_rng(0)\n") == ["RPR001"]
+
+    def test_flags_imports(self):
+        assert rules_hit("import random\n") == ["RPR001"]
+        assert rules_hit("from numpy.random import default_rng\n") == ["RPR001"]
+        assert rules_hit("from numpy import random\n") == ["RPR001"]
+
+    def test_flags_stdlib_random_calls(self):
+        assert rules_hit("x = random.randint(0, 5)\n") == ["RPR001"]
+        assert rules_hit("random.shuffle(items)\n") == ["RPR001"]
+
+    def test_negative_spawn_generator(self):
+        assert rules_hit("rng = spawn_generator(seed, 0xC04F)\n") == []
+        # An unrelated attribute that merely contains 'random'.
+        assert rules_hit("x = self.randomize()\n") == []
+
+    def test_exempt_in_rng_module(self):
+        src = "rng = np.random.default_rng(0)\n"
+        assert rules_hit(src, key_path="_util/rng.py") == []
+        assert rules_hit(src, key_path="radio/engine.py") == ["RPR001"]
+
+    def test_noqa_suppresses_with_justification(self):
+        src = (
+            "rng = np.random.default_rng(0)  "
+            "# repro: noqa RPR001 -- test-only fixture stream\n"
+        )
+        result = check_source(src, path=FIXTURE, key_path=FIXTURE)
+        assert result.violations == []
+        assert result.suppressed == 1
+
+
+class TestRPR002UnorderedIteration:
+    def test_flags_set_iteration(self):
+        assert rules_hit("for v in {1, 2, 3}:\n    pass\n") == ["RPR002"]
+        assert rules_hit("for v in set(xs):\n    pass\n") == ["RPR002"]
+        # Inside a function so module-level RPR004 stays out of the way.
+        assert rules_hit(
+            "def f():\n    return [g(v) for v in d.keys()]\n"
+        ) == ["RPR002"]
+        assert rules_hit("for k, v in d.items():\n    pass\n") == ["RPR002"]
+        assert rules_hit("for v in a.union(b):\n    pass\n") == ["RPR002"]
+
+    def test_negative_sorted_iteration(self):
+        assert rules_hit("for v in sorted(set(xs)):\n    pass\n") == []
+        assert rules_hit("for v in sorted(d.items()):\n    pass\n") == []
+        assert rules_hit("for v in xs:\n    pass\n") == []
+
+    def test_order_insensitive_consumers_exempt(self):
+        # A comprehension fed directly into sorted()/sum()/max() cannot
+        # leak iteration order.
+        assert rules_hit("ys = sorted(f(v) for v in d.values())\n") == []
+        assert rules_hit("t = sum(v for v in s.keys())\n") == []
+        assert rules_hit("m = max(x for x in {1, 2})\n") == []
+
+    def test_scoped_to_hot_paths(self):
+        src = "for v in d.keys():\n    pass\n"
+        assert rules_hit(src, key_path="radio/engine.py") == ["RPR002"]
+        assert rules_hit(src, key_path="core/node.py") == ["RPR002"]
+        assert rules_hit(src, key_path="conform/lockstep.py") == ["RPR002"]
+        assert rules_hit(src, key_path="analysis/metrics.py") == []
+        assert rules_hit(src, key_path="cli.py") == []
+
+    def test_noqa_suppresses(self):
+        src = (
+            "for k in d.keys():  "
+            "# repro: noqa RPR002 -- result folded through max(), order-free\n"
+            "    pass\n"
+        )
+        result = check_source(src, path=FIXTURE, key_path=FIXTURE)
+        assert result.violations == []
+        assert result.suppressed == 1
+
+
+class TestRPR003WallClock:
+    def test_flags_clock_and_env_reads(self):
+        assert rules_hit("t = time.time()\n") == ["RPR003"]
+        assert rules_hit("t = time.monotonic()\n") == ["RPR003"]
+        assert rules_hit("d = datetime.now()\n") == ["RPR003"]
+        assert rules_hit("b = os.urandom(8)\n") == ["RPR003"]
+        assert rules_hit("v = os.environ['SEED']\n") == ["RPR003"]
+        assert rules_hit("h = hash(name)\n") == ["RPR003"]
+
+    def test_negative_explicit_time_values(self):
+        assert rules_hit("t = slot * slot_duration\n") == []
+        assert rules_hit("x = self.time_budget\n") == []
+
+    def test_telemetry_packages_exempt(self):
+        src = "t = time.perf_counter()\n"
+        assert rules_hit(src, key_path="experiments/e1.py") == []
+        assert rules_hit(src, key_path="analysis/timeline.py") == []
+        assert rules_hit(src, key_path="radio/engine.py") == ["RPR003"]
+
+    def test_noqa_suppresses(self):
+        src = (
+            "t0 = time.monotonic()  "
+            "# repro: noqa RPR003 -- budget only; content is seed-fixed\n"
+        )
+        result = check_source(src, path=FIXTURE, key_path=FIXTURE)
+        assert result.violations == []
+        assert result.suppressed == 1
+
+
+class TestRPR004MutableState:
+    def test_flags_mutable_defaults_everywhere(self):
+        src = "def f(xs=[]):\n    return xs\n"
+        assert rules_hit(src, key_path="analysis/metrics.py") == ["RPR004"]
+        assert rules_hit(src, key_path="cli.py") == ["RPR004"]
+        assert rules_hit("def f(*, m={}):\n    return m\n") == ["RPR004"]
+
+    def test_flags_class_level_state_in_sim_code(self):
+        src = "class Node:\n    seen = []\n"
+        assert rules_hit(src, key_path="core/node.py") == ["RPR004"]
+        assert rules_hit(src, key_path="radio/engine.py") == ["RPR004"]
+        # State half is scoped to node/simulator packages only.
+        assert rules_hit(src, key_path="analysis/metrics.py") == []
+
+    def test_negative_instance_state_and_immutables(self):
+        src = (
+            "class Node:\n"
+            "    LIMIT = 5\n"
+            "    FIELDS = ('a', 'b')\n"
+            "    def __init__(self):\n"
+            "        self.seen = []\n"
+        )
+        assert rules_hit(src, key_path="core/node.py") == []
+
+    def test_dunder_targets_exempt(self):
+        src = "__all__ = ['a', 'b']\n"
+        assert rules_hit(src, key_path="core/node.py") == []
+
+    def test_noqa_suppresses(self):
+        src = (
+            "class Node:\n"
+            "    _cache = {}  "
+            "# repro: noqa RPR004 -- process-wide memo, keyed by immutable args\n"
+        )
+        result = check_source(src, path="core/x.py", key_path="core/x.py")
+        assert result.violations == []
+        assert result.suppressed == 1
+
+
+class TestRPR005FloatCounter:
+    def test_flags_float_accumulation(self):
+        assert rules_hit("slot_count += dt * 0.5\n") == ["RPR005"]
+        assert rules_hit("self.draw_count /= 2\n") == ["RPR005"]
+        assert rules_hit("ticks += n / 2\n") == ["RPR005"]
+
+    def test_negative_integer_accumulation(self):
+        assert rules_hit("slot_count += 1\n") == []
+        assert rules_hit("self.draw_count += n\n") == []
+        assert rules_hit("ticks += n // 2\n") == []
+        # Non-counter names are out of scope even with float arithmetic.
+        assert rules_hit("self.rate += dt * 0.5\n") == []
+
+    def test_scoped_to_hot_paths(self):
+        src = "slot_count += dt * 0.5\n"
+        assert rules_hit(src, key_path="radio/engine.py") == ["RPR005"]
+        assert rules_hit(src, key_path="analysis/metrics.py") == []
+
+    def test_noqa_suppresses(self):
+        src = (
+            "draw_count += w * 0.5  "
+            "# repro: noqa RPR005 -- weighted telemetry mean, not a slot counter\n"
+        )
+        result = check_source(src, path=FIXTURE, key_path=FIXTURE)
+        assert result.violations == []
+        assert result.suppressed == 1
+
+
+class TestSuppressionParsing:
+    def test_blanket_noqa_is_rpr000(self):
+        src = "x = np.random.default_rng(0)  # repro: noqa\n"
+        assert rules_hit(src) == ["RPR000", "RPR001"]
+
+    def test_missing_justification_is_rpr000(self):
+        src = "x = np.random.default_rng(0)  # repro: noqa RPR001\n"
+        assert rules_hit(src) == ["RPR000", "RPR001"]
+
+    def test_rpr000_cannot_be_suppressed(self):
+        src = "x = 1  # repro: noqa RPR000 -- please\n"
+        # The malformed-marker rule id cannot appear in a rule list that
+        # silences anything real; an RPR000-only noqa is simply unused.
+        result = check_source(src, path=FIXTURE, key_path=FIXTURE)
+        assert result.unused_noqa == [f"{FIXTURE}:1"]
+
+    def test_noqa_in_docstring_is_not_a_suppression(self):
+        src = '"""Example: # repro: noqa RPR001 syntax doc."""\nx = 1\n'
+        result = check_source(src, path=FIXTURE, key_path=FIXTURE)
+        assert result.violations == []
+        assert result.unused_noqa == []
+
+    def test_unused_noqa_reported(self):
+        src = "x = 1  # repro: noqa RPR001 -- nothing here to silence\n"
+        result = check_source(src, path=FIXTURE, key_path=FIXTURE)
+        assert result.violations == []
+        assert result.unused_noqa == [f"{FIXTURE}:1"]
+
+    def test_multi_rule_noqa(self):
+        src = (
+            "for v in {hash(x) for x in xs}:  "
+            "# repro: noqa RPR002 RPR003 -- fixture exercising two rules\n"
+            "    pass\n"
+        )
+        result = check_source(src, path=FIXTURE, key_path=FIXTURE)
+        assert result.violations == []
+        assert result.suppressed == 2
+
+    def test_syntax_error_is_rpr000(self):
+        assert rules_hit("def broken(:\n") == ["RPR000"]
+
+
+class TestContractRelpath:
+    def test_strips_through_repro_dir(self):
+        assert contract_relpath(SRC / "radio" / "engine.py") == "radio/engine.py"
+        assert contract_relpath(SRC / "cli.py") == "cli.py"
+
+    def test_copied_tree_keeps_keys(self, tmp_path):
+        copy = tmp_path / "anywhere" / "repro" / "radio" / "engine.py"
+        copy.parent.mkdir(parents=True)
+        copy.write_text("x = 1\n")
+        assert contract_relpath(copy) == "radio/engine.py"
+
+    def test_loose_file_keeps_name(self, tmp_path):
+        loose = tmp_path / "fixture.py"
+        loose.write_text("x = 1\n")
+        assert contract_relpath(loose) == "fixture.py"
+
+
+class TestBaseline:
+    def test_diff_new_and_stale(self):
+        vs = violations("x = np.random.default_rng(0)\ny = np.random.default_rng(1)\n")
+        key = vs[0].baseline_key
+        baseline = Baseline(entries={key: 1, "gone.py::RPR001": 2})
+        diff = baseline.diff(vs)
+        assert not diff.ok
+        assert [v.line for v in diff.new] == [2]
+        assert diff.stale == {"gone.py::RPR001": (2, 0)}
+
+    def test_covered_exactly(self):
+        vs = violations("x = np.random.default_rng(0)\n")
+        baseline = Baseline.from_violations(vs)
+        assert baseline.diff(vs).ok
+        assert baseline.diff(vs).stale == {}
+
+    def test_save_load_roundtrip(self, tmp_path):
+        vs = violations("x = np.random.default_rng(0)\n")
+        path = tmp_path / "baseline.json"
+        Baseline.from_violations(vs).save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == count_violations(vs)
+        assert json.loads(path.read_text())["schema"] == 1
+
+    def test_load_rejects_bad_schema(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": 99, "entries": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            Baseline.load(path)
+
+    def test_load_rejects_bad_entries(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": 1, "entries": {"k": 0}}))
+        with pytest.raises(ValueError, match="entries"):
+            Baseline.load(path)
+
+
+def run_cli(argv):
+    """Run the staticcheck CLI in-process; returns (exit_code, output)."""
+    parser = argparse.ArgumentParser()
+    add_arguments(parser)
+    out = io.StringIO()
+    code = run(parser.parse_args(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestGate:
+    def test_rule_registry(self):
+        assert RULE_IDS == ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005")
+        assert len({r.rule_id for r in RULES}) == len(RULES)
+
+    def test_list_rules(self):
+        code, out = run_cli(["--list-rules"])
+        assert code == 0
+        for rule_id in RULE_IDS:
+            assert rule_id in out
+
+    def test_self_scan_matches_committed_baseline(self):
+        """The committed baseline must exactly match a fresh scan: a new
+        violation fails the gate, and a fixed one must be ratcheted out
+        of the baseline (drift in either direction fails here)."""
+        result = check_paths([SRC])
+        fresh = count_violations(result.violations)
+        pinned = dict(Baseline.load(BASELINE).entries)
+        assert fresh == pinned
+        assert result.unused_noqa == []
+
+    def test_gate_green_on_committed_tree(self):
+        code, out = run_cli([str(SRC), "--baseline", str(BASELINE)])
+        assert code == 0, out
+        assert "staticcheck: ok" in out
+
+    def test_injected_violations_fail_the_gate(self, tmp_path):
+        """The ISSUE acceptance check: copy the package, inject a raw
+        RNG construction and an unsorted set iteration into
+        ``radio/engine.py``, and the gate must exit non-zero naming both
+        rules with file:line locations."""
+        tree = tmp_path / "repro"
+        shutil.copytree(SRC, tree, ignore=shutil.ignore_patterns("__pycache__"))
+        engine = tree / "radio" / "engine.py"
+        source = engine.read_text(encoding="utf-8")
+        source += (
+            "\n\ndef _injected_violation():\n"
+            '    """Fixture: deliberately violates RPR001 and RPR002."""\n'
+            "    rng = np.random.default_rng(42)\n"
+            "    for v in {1, 2, 3}:\n"
+            "        rng.random()\n"
+        )
+        engine.write_text(source, encoding="utf-8")
+        injected_line = len(source.splitlines())  # last line of the block
+
+        code, out = run_cli([str(tree), "--baseline", str(BASELINE)])
+        assert code == 1
+        assert "RPR001" in out
+        assert "RPR002" in out
+        assert "engine.py" in out
+        # Locations point into the injected block, rule + file:line.
+        reported = re.findall(r"^\+ (\S*engine\.py):(\d+):\d+: (RPR\d{3})", out, re.M)
+        assert {rule for _, _, rule in reported} == {"RPR001", "RPR002"}
+        assert all(int(lineno) > injected_line - 6 for _, lineno, _ in reported)
+
+    def test_update_baseline_repins(self, tmp_path):
+        fixture = tmp_path / "fixtures"
+        fixture.mkdir()
+        (fixture / "bad.py").write_text("x = np.random.default_rng(0)\n")
+        baseline_path = tmp_path / "baseline.json"
+        code, out = run_cli(
+            [str(fixture), "--baseline", str(baseline_path), "--update-baseline"]
+        )
+        assert code == 0
+        assert "re-pinned" in out
+        # With the pin in place the same scan is green...
+        code, out = run_cli([str(fixture), "--baseline", str(baseline_path)])
+        assert code == 0, out
+        # ...and without it, red.
+        code, out = run_cli([str(fixture), "--no-baseline"])
+        assert code == 1
+        assert "RPR001" in out
+
+    def test_missing_path_is_usage_error(self):
+        code, out = run_cli(["definitely/not/a/path"])
+        assert code == 2
+        assert "no such path" in out
