@@ -48,15 +48,20 @@ bench-smoke:
 
 # Regenerate the committed engine-path baseline (BENCH_engine.json at
 # the repo root): classic vs per-slot-vectorized vs block-stepped on
-# the sparse-deployment cold-start workload, n in {100, 400, 1600}.
+# the sparse-deployment cold-start workload (n in {100, 400, 1600})
+# plus the cross-replica batched cells (R in {10, 100} at n=1600,
+# synchronous-wake throttled-contention workload).  --repeats 5 keeps
+# the vectorized-vs-classic crossover pin stable against timer noise.
 # Commit the refreshed JSON together with whatever engine change
 # motivated it; CI guards it via scripts/check_bench.py.
 bench-json:
-	PYTHONPATH=src python -m repro.experiments.engine_bench --out BENCH_engine.json
+	PYTHONPATH=src python -m repro.experiments.engine_bench --repeats 5 \
+	  --out BENCH_engine.json
 
 # Re-run the engine benchmark and compare against the committed
-# baseline (2x wall-clock tolerance; >= 3x committed and >= 2x fresh
-# blocked-vs-per-slot speedup on the n=1600 cell).
+# baseline (2x wall-clock tolerance; blocked-vs-per-slot speedup floor
+# on the n=1600 cell, vectorized <= classic at every pinned n, and the
+# >= 5x batched-vs-sequential-classic floor on the replica cells).
 bench-check:
 	PYTHONPATH=src python scripts/check_bench.py
 

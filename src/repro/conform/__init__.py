@@ -30,6 +30,7 @@ from repro.conform.lockstep import (
     build_lockstep,
     run_block_lockstep,
     run_lockstep,
+    run_replica_lockstep,
     run_unaligned_lockstep,
 )
 from repro.conform.runner import FuzzResult, fuzz, run_matrix, run_scenario
@@ -38,6 +39,7 @@ from repro.conform.scenarios import (
     FAMILIES,
     PHY_MATRIX,
     PHYS,
+    REPLICA_MATRIX,
     SCENARIO_MATRIX,
     SCHEDULES,
     Scenario,
@@ -45,6 +47,7 @@ from repro.conform.scenarios import (
     phy_matrix,
     quick_matrix,
     random_scenarios,
+    replica_matrix,
 )
 
 __all__ = [
@@ -52,6 +55,7 @@ __all__ = [
     "FAMILIES",
     "PHYS",
     "PHY_MATRIX",
+    "REPLICA_MATRIX",
     "SCENARIO_MATRIX",
     "SCHEDULES",
     "ConformanceReport",
@@ -74,6 +78,8 @@ __all__ = [
     "run_block_lockstep",
     "run_lockstep",
     "run_matrix",
+    "replica_matrix",
+    "run_replica_lockstep",
     "run_scenario",
     "run_unaligned_lockstep",
 ]

@@ -68,11 +68,18 @@ class Divergence:
     classic: Any
     vectorized: Any
     scenario: "Scenario | None" = None
+    #: replica index for batched-vs-solo comparisons (``None`` for the
+    #: single-run locksteps): the full localization is then
+    #: (replica, slot, node, field), and ``classic`` / ``vectorized``
+    #: carry the solo and batched values respectively.
+    replica: int | None = None
 
     def reproducer(self) -> dict[str, Any]:
         """Minimized machine-readable reproducer: the scenario record
         plus the slot budget needed to reach the divergence."""
         out: dict[str, Any] = {"max_slots": self.slot + 1}
+        if self.replica is not None:
+            out["replica"] = self.replica
         if self.scenario is not None:
             out.update(
                 family=self.scenario.family,
@@ -90,6 +97,8 @@ class Divergence:
     def describe(self) -> str:
         """Human-readable slot/node-level report with the replay command."""
         where = f"slot {self.slot}"
+        if self.replica is not None:
+            where = f"replica {self.replica}, " + where
         if self.node is not None:
             where += f", node {self.node}"
         lines = [

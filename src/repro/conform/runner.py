@@ -23,6 +23,7 @@ from repro.conform.divergence import ConformanceReport
 from repro.conform.lockstep import (
     run_block_lockstep,
     run_lockstep,
+    run_replica_lockstep,
     run_unaligned_lockstep,
 )
 from repro.conform.scenarios import Scenario, random_scenarios
@@ -45,7 +46,10 @@ def run_scenario(
     unaligned simulator on a scripted beacon population.  With
     ``scenario.block > 0`` the comparison is instead the vectorized
     path's per-slot stepping against its block-stepped mode
-    (:func:`~repro.conform.lockstep.run_block_lockstep`).
+    (:func:`~repro.conform.lockstep.run_block_lockstep`); with
+    ``scenario.replicas > 0`` it is the replica batch against its
+    per-replica solo runs
+    (:func:`~repro.conform.lockstep.run_replica_lockstep`).
     """
     dep, params, wake_slots = scenario.build()
     if scenario.phy == "unaligned":
@@ -68,6 +72,17 @@ def run_scenario(
 
             wake_max = int(wake_slots.max()) if dep.n else 0
             max_slots = suggested_max_slots(params, wake_max) * scenario.channels
+    if scenario.replicas:
+        return run_replica_lockstep(
+            dep,
+            params,
+            wake_slots,
+            seeds=scenario.replica_seeds(),
+            loss_prob=scenario.loss_prob,
+            channels=scenario.channels,
+            max_slots=max_slots,
+            scenario=scenario,
+        )
     if scenario.block:
         return run_block_lockstep(
             dep,

@@ -34,6 +34,7 @@ __all__ = [
     "FAMILIES",
     "PHYS",
     "PHY_MATRIX",
+    "REPLICA_MATRIX",
     "SCENARIO_MATRIX",
     "SCHEDULES",
     "Scenario",
@@ -41,6 +42,7 @@ __all__ = [
     "phy_matrix",
     "quick_matrix",
     "random_scenarios",
+    "replica_matrix",
 ]
 
 #: graph families the conformance matrix covers (UDG, torus, UBG over a
@@ -77,6 +79,12 @@ class Scenario:
     #: block size for the block-vs-per-slot lockstep (0 = classic-vs-
     #: vectorized lockstep, the default comparison).
     block: int = 0
+    #: replica count for the batched-vs-solo lockstep (0 = not a replica
+    #: cell).  With ``replicas > 0`` the comparison is
+    #: :func:`~repro.conform.lockstep.run_replica_lockstep`: every
+    #: replica of one batched run against its solo run with the same
+    #: seed, divergences localized to (replica, slot, node, field).
+    replicas: int = 0
 
     def __post_init__(self) -> None:
         if self.family not in FAMILIES:
@@ -100,6 +108,19 @@ class Scenario:
                 "block lockstep compares the vectorized engine's two "
                 "stepping modes; the unaligned simulator has no "
                 "vectorized path (pick one of block / phy='unaligned')"
+            )
+        if self.replicas < 0:
+            raise ValueError("scenarios need replicas >= 0")
+        if self.replicas and self.phy == "unaligned":
+            raise ValueError(
+                "replica batching runs on the vectorized fast path; the "
+                "unaligned simulator has none (pick one of replicas / "
+                "phy='unaligned')"
+            )
+        if self.replicas and self.block:
+            raise ValueError(
+                "replica cells fix their own batch granularity; pick one "
+                "of replicas / block"
             )
 
     # ------------------------------------------------------------------
@@ -143,6 +164,12 @@ class Scenario:
         dep = self.build_deployment()
         return dep, self.build_params(dep), self.build_wake_slots(dep)
 
+    def replica_seeds(self) -> list[int]:
+        """The per-replica protocol seeds of a replica cell: a fixed
+        deterministic fan-out of :attr:`seed`, so the cell — like every
+        other scenario — is reproducible from its record alone."""
+        return [self.seed + 101 * r for r in range(self.replicas)]
+
     # ------------------------------------------------------------------
     def label(self) -> str:
         """Compact one-line description for reports."""
@@ -157,6 +184,8 @@ class Scenario:
             base += f" k={self.channels}"
         if self.block:
             base += f" block={self.block}"
+        if self.replicas:
+            base += f" R={self.replicas}"
         return base
 
     def cli_args(self) -> str:
@@ -172,6 +201,8 @@ class Scenario:
             base += f" --channels {self.channels}"
         if self.block:
             base += f" --block {self.block}"
+        if self.replicas:
+            base += f" --replicas {self.replicas}"
         return base
 
 
@@ -275,6 +306,43 @@ BLOCK_MATRIX: tuple[Scenario, ...] = _block_matrix()
 def block_matrix() -> tuple[Scenario, ...]:
     """The pinned block-stepping scenarios (see :data:`BLOCK_MATRIX`)."""
     return BLOCK_MATRIX
+
+
+def _replica_matrix() -> tuple[Scenario, ...]:
+    """Pinned batched-vs-solo replica lockstep cells.
+
+    These assert the replica axis's determinism contract: every replica
+    ``r`` of one :func:`~repro.radio.replica.run_replicated` batch must
+    be **byte-identical** — colors, slot counts, every level-2 trace
+    event, and all six channel-metric columns including the per-stream
+    RNG draw counters — to the solo ``run_coloring`` with seed
+    ``replica_seeds()[r]``.  One cell per PHY the batch supports: the
+    default collision PHY, loss injection (each replica's loss child is
+    its own first spawn, so the loss streams must coincide to the
+    draw), and the multi-channel hopping PHY (per-replica hop side
+    streams, spawned second).  Staggered/random wake schedules make the
+    replicas finish at different slots, so the cells also exercise
+    early-finish isolation: a finished replica's streams must not
+    advance while the rest of the batch keeps running.
+    """
+    return (
+        Scenario(family="udg", n=20, degree=5.0, schedule="random",
+                 seed=6000, replicas=5),
+        Scenario(family="torus", n=22, degree=6.0, schedule="staggered",
+                 loss_prob=0.1, seed=6001, replicas=5),
+        Scenario(family="udg", n=18, degree=5.0, schedule="random",
+                 seed=6100, phy="multichannel", channels=2,
+                 param_scale=2.0, replicas=4),
+    )
+
+
+#: the pinned replica matrix (collision / lossy / multichannel cells).
+REPLICA_MATRIX: tuple[Scenario, ...] = _replica_matrix()
+
+
+def replica_matrix() -> tuple[Scenario, ...]:
+    """The pinned batched-vs-solo scenarios (see :data:`REPLICA_MATRIX`)."""
+    return REPLICA_MATRIX
 
 
 def quick_matrix() -> tuple[Scenario, ...]:

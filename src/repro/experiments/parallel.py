@@ -22,6 +22,12 @@ Guarantees and behaviour:
   segfaulted interpreter, broken pool) is re-run serially in the parent;
   one bad seed never loses a sweep.  Deterministic exceptions raised by
   ``fn`` itself still propagate — they would fail serially too.
+- **Replica batching.** :func:`run_replicated_sweep` runs R seeds of
+  *one* scenario on the batched engine path: the scenario (graph + wake
+  schedule + parameters) is built once per scenario hash per process
+  (:func:`shared_build`) instead of once per seed, and each chunk
+  executes as one :func:`~repro.radio.replica.run_replicated` batch —
+  still byte-identical to the per-seed path at any worker count.
 - **Telemetry.** Every run records wall time plus the ``slots``/``tx``
   counters its row carries (when present); see :func:`collect_telemetry`
   and :func:`repro.experiments.io.save_sweep_telemetry`.
@@ -40,9 +46,10 @@ import contextvars
 import os
 import pickle
 import time
-from collections.abc import Callable, Iterable, Iterator
+from collections.abc import Callable, Hashable, Iterable, Iterator
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from typing import Any
 
 from repro._util import RngStream
@@ -52,7 +59,10 @@ __all__ = [
     "collect_telemetry",
     "default_workers",
     "resolve_seeds",
+    "run_replicated_sweep",
     "run_sweep",
+    "shared_build",
+    "shared_build_stats",
 ]
 
 
@@ -116,6 +126,63 @@ def resolve_seeds(seeds: Iterable[int] | int, master_seed: int = 0) -> list[int]
         stream = RngStream(master_seed)
         return [stream.child_seed() for _ in range(seeds)]
     return [int(s) for s in seeds]
+
+
+#: Process-local scenario memo: one entry per scenario hash (see
+#: :func:`shared_build`).  Worker processes each grow their own copy.
+_BUILD_CACHE: dict[Any, Any] = {}
+_BUILD_CACHE_MAX = 32
+_BUILD_STATS = {"hits": 0, "misses": 0}
+
+
+def shared_build(key: Any, build: Callable[[], Any]) -> Any:
+    """Build an expensive, deterministic scenario once per process.
+
+    Replica sweeps run many seeds of the *same* scenario (one
+    deployment, one wake schedule, one parameter set); when such a sweep
+    is chunked across worker processes, every chunk used to rebuild the
+    scenario from scratch — work the batched engine path shares by
+    construction.  This memo keys the built scenario on a caller-chosen
+    hashable ``key`` (the scenario hash): within one process the first
+    call under a key runs ``build()`` and every later call returns the
+    cached object.
+
+    ``build`` must be deterministic (same key, same value) — the cache
+    makes rebuild-vs-reuse unobservable only under that contract, which
+    is the same contract the seeded experiment harness already relies
+    on.  The cache holds at most ``_BUILD_CACHE_MAX`` scenarios,
+    evicting the oldest; :func:`shared_build_stats` exposes hit/miss
+    counters for the regression tests.
+    """
+    try:
+        value = _BUILD_CACHE[key]
+    except (KeyError, TypeError):
+        if not isinstance(key, Hashable):
+            raise TypeError(f"scenario key must be hashable, got {key!r}") from None
+        _BUILD_STATS["misses"] += 1
+        value = _BUILD_CACHE[key] = build()
+        while len(_BUILD_CACHE) > _BUILD_CACHE_MAX:
+            _BUILD_CACHE.pop(next(iter(_BUILD_CACHE)))
+        return value
+    _BUILD_STATS["hits"] += 1
+    return value
+
+
+def shared_build_stats(*, reset: bool = False) -> dict[str, int]:
+    """This process's scenario-memo hit/miss counters (test hook)."""
+    stats = dict(_BUILD_STATS)
+    if reset:
+        _BUILD_STATS["hits"] = _BUILD_STATS["misses"] = 0
+        _BUILD_CACHE.clear()
+    return stats
+
+
+def _scenario_hash(build: Callable[[], Any]) -> str:
+    """Scenario hash of a picklable build callable: same scenario spec
+    (function + bound arguments), same key — across processes too."""
+    import hashlib
+
+    return hashlib.sha256(pickle.dumps(build)).hexdigest()
 
 
 def _timed_run(fn: Callable[[int], Any], seed: int) -> tuple[Any, float]:
@@ -203,7 +270,7 @@ def run_sweep(
 
     timed: list[tuple[Any, float] | None]
     if workers > 1 and len(seed_list) > 1 and _can_dispatch(fn):
-        timed = _dispatch(fn, seed_list, workers, chunksize)
+        timed = _dispatch(partial(_run_chunk, fn), seed_list, workers, chunksize)
     else:
         timed = [None] * len(seed_list)
 
@@ -224,20 +291,21 @@ def run_sweep(
 
 
 def _dispatch(
-    fn: Callable[[int], Any],
+    runner: Callable[[list[int]], list[tuple[Any, float]]],
     seed_list: list[int],
     workers: int,
     chunksize: int | None,
 ) -> list[tuple[Any, float] | None]:
-    """Chunked pool dispatch; failed or crashed chunks come back as
-    ``None`` entries for the caller's serial retry."""
+    """Chunked pool dispatch of a picklable chunk runner; failed or
+    crashed chunks come back as ``None`` entries for the caller's serial
+    retry."""
     if chunksize is None:
         chunksize = max(1, -(-len(seed_list) // (4 * workers)))
     chunks = [seed_list[i : i + chunksize] for i in range(0, len(seed_list), chunksize)]
     out: list[tuple[Any, float] | None] = [None] * len(seed_list)
     try:
         with ProcessPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+            futures = [pool.submit(runner, chunk) for chunk in chunks]
             pos = 0
             for chunk, future in zip(chunks, futures):
                 try:
@@ -251,3 +319,107 @@ def _dispatch(
         # this platform; every unfilled entry is retried serially.
         pass
     return out
+
+
+def _run_replica_chunk(
+    key: Any,
+    build: Callable[[], tuple[Any, Any, Any]],
+    metric: Callable[[Any], Any] | None,
+    run_kwargs: dict[str, Any],
+    chunk: list[int],
+) -> list[tuple[Any, float]]:
+    """Worker entry point for replica sweeps: one chunk of seeds runs as
+    one engine batch over the memoized scenario build."""
+    from repro.radio.replica import run_replicated
+
+    dep, params, wake_slots = shared_build(key, build)
+    t0 = time.perf_counter()
+    results = run_replicated(dep, params, wake_slots, seeds=chunk, **run_kwargs)
+    wall = (time.perf_counter() - t0) / max(1, len(chunk))
+    rows = [res if metric is None else metric(res) for res in results]
+    return [(row, wall) for row in rows]
+
+
+def run_replicated_sweep(
+    build: Callable[[], tuple[Any, Any, Any]],
+    *,
+    seeds: Iterable[int] | int,
+    master_seed: int = 0,
+    workers: int | None = None,
+    chunksize: int | None = None,
+    metric: Callable[[Any], Any] | None = None,
+    telemetry: list[RunTelemetry] | None = None,
+    scenario_key: Hashable | None = None,
+    **run_kwargs: Any,
+) -> list[Any]:
+    """Run R seeded replicas of **one** scenario on the batched engine
+    path (:func:`repro.radio.replica.run_replicated`), optionally across
+    processes.
+
+    The replica-sweep analogue of :func:`run_sweep`: where ``run_sweep``
+    calls an arbitrary ``fn(seed)`` per run, this takes a zero-argument
+    ``build`` returning the shared ``(deployment, params, wake_slots)``
+    triple, builds it **once per scenario hash per process** (see
+    :func:`shared_build`; ``scenario_key`` overrides the automatic
+    pickled-``build`` hash), and executes each chunk of seeds as one
+    replica batch.  Because replica ``r`` of any batch is byte-identical
+    to the solo run with ``seeds[r]``, the returned rows are identical
+    for every worker count and chunking — parallelism and batching both
+    stay execution details.
+
+    ``metric`` maps each :class:`~repro.core.protocol.ColoringResult` to
+    the row to return (applied inside the worker, so only small rows
+    cross the process boundary; with ``metric=None`` the results
+    themselves are returned and must pickle).  Remaining keyword
+    arguments (``loss_prob``, ``channels``, ``block``, ``max_slots``,
+    ...) pass through to ``run_replicated``.  Per-run telemetry records
+    the chunk's amortized per-seed wall time.
+    """
+    seed_list = resolve_seeds(seeds, master_seed)
+    if workers is None:
+        workers = default_workers()
+    elif workers == 0:
+        workers = os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+
+    dispatchable = (
+        workers > 1
+        and len(seed_list) > 1
+        and _can_dispatch(build)
+        and (metric is None or _can_dispatch(metric))
+    )
+    key: Any
+    if scenario_key is not None:
+        key = scenario_key
+    elif _can_dispatch(build):
+        key = _scenario_hash(build)
+    else:
+        key = ("unpicklable-build", id(build))  # process-local fallback
+
+    runner = partial(_run_replica_chunk, key, build, metric, run_kwargs)
+    timed: list[tuple[Any, float] | None]
+    if dispatchable:
+        timed = _dispatch(runner, seed_list, workers, chunksize)
+    else:
+        timed = [None] * len(seed_list)
+    # Serial path / crash retry: any missing stretch re-runs as one
+    # in-process batch (grouping is invisible to results).
+    missing = [i for i, entry in enumerate(timed) if entry is None]
+    if missing:
+        retried = runner([seed_list[i] for i in missing])
+        for i, entry in zip(missing, retried):
+            timed[i] = entry
+
+    results: list[Any] = []
+    sink = _SINK.get()
+    for seed, entry in zip(seed_list, timed):
+        assert entry is not None
+        result, wall_s = entry
+        record = _telemetry_of(seed, result, wall_s)
+        if telemetry is not None:
+            telemetry.append(record)
+        if sink is not None:
+            sink.append(record)
+        results.append(result)
+    return results

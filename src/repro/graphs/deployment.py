@@ -49,6 +49,9 @@ class Deployment:
     _two_hop: list[np.ndarray] | None = field(
         default=None, init=False, repr=False, compare=False
     )
+    _csr: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         n = self.graph.number_of_nodes()
@@ -107,6 +110,31 @@ class Deployment:
                 for v in range(self.n)
             ]
         return self._neighbors
+
+    @property
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Neighbor adjacency as CSR-style ``(indptr, indices)`` arrays,
+        cached on the deployment: node ``v``'s neighbors are
+        ``indices[indptr[v]:indptr[v+1]]``.
+
+        Every PHY bind — and, in particular, every replica of a batched
+        run (:mod:`repro.radio.replica`) — shares this one structure
+        instead of re-flattening the neighbor lists per simulator.  The
+        arrays are read-only for all consumers.
+        """
+        if self._csr is None:
+            n = self.n
+            nbrs = self.neighbors
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            if n:
+                indptr[1:] = np.cumsum([len(a) for a in nbrs])
+            indices = (
+                np.concatenate(nbrs)
+                if n and indptr[-1]
+                else np.empty(0, dtype=np.int64)
+            )
+            self._csr = indptr, indices.astype(np.int64, copy=False)
+        return self._csr
 
     def closed_neighborhood(self, v: int) -> np.ndarray:
         """``N_v`` — neighbors plus ``v`` itself, sorted."""

@@ -102,8 +102,12 @@ def csr_arrays(lists: Sequence[np.ndarray], n: int) -> tuple[np.ndarray, np.ndar
 def build_csr(dep: Deployment) -> tuple[np.ndarray, np.ndarray]:
     """Flatten a deployment's per-node neighbor arrays into CSR-style
     ``(indptr, indices)`` arrays: node ``v``'s neighbors are
-    ``indices[indptr[v]:indptr[v+1]]``."""
-    return csr_arrays(dep.neighbors, dep.n)
+    ``indices[indptr[v]:indptr[v+1]]``.
+
+    Delegates to the deployment's cached :attr:`~repro.graphs.deployment.
+    Deployment.csr` property, so repeated binds — every simulator of a
+    replica batch, every lockstep pair — share one adjacency structure."""
+    return dep.csr
 
 
 @dataclass

@@ -192,6 +192,10 @@ class RadioSimulator(SlotSteppedSimulator):
         order = np.argsort(self.wake_slots, kind="stable")
         self._wake_order = order
         self._next_wake = 0  # index into _wake_order
+        # Next pending wake slot as a plain int: the per-slot paths guard
+        # their wake processing on one integer compare instead of a numpy
+        # index into _wake_order every slot.
+        self._next_wake_slot = int(self.wake_slots[order[0]]) if n else _FAR
         self._awake: list[int] = []
         # Vectorized fast path (engaged only when every node opts in):
         # dense per-node send probabilities and next scheduled event slots,
@@ -213,7 +217,27 @@ class RadioSimulator(SlotSteppedSimulator):
             # probability or event slot actually changes.  The block-
             # stepped path keys its fire-candidate caches off this.
             self._gen = 0
+            # Cached minimum of _evt, maintained stale-low-safe: _refresh
+            # lowers it eagerly, and it is recomputed exactly whenever due
+            # events are processed.  A stale-low value only costs a cheap
+            # recheck; it can never skip a due event.
+            self._evt_min = _FAR
+            # Fire-candidate cache, keyed on the state generation: the
+            # columns with p > 0 and their probabilities.  State changes
+            # (wakes, events, deliveries) are rare relative to slots, so
+            # both per-slot and block-stepped paths reuse these across
+            # long spans instead of recomputing full-width nonzero/p
+            # scans every slot.
+            self._active = np.empty(0, dtype=np.int64)
+            self._pa = np.empty(0, dtype=np.float64)
+            self._active_gen = -1
             self._draw_buf: np.ndarray | None = None  # step_block segment buffer
+            # Hot-path bound methods (the generator, bit generator, and
+            # metrics object are fixed for the simulator's lifetime):
+            # saves two attribute chains per slot on the per-slot path.
+            self._rand = self.rng.generator.random
+            self._advance = self.rng.generator.bit_generator.advance
+            self._append_metrics = self.trace.channel_metrics.append
             self.core.on_deliver = self._on_deliver
 
     # ------------------------------------------------------------------
@@ -234,6 +258,8 @@ class RadioSimulator(SlotSteppedSimulator):
             self._p[v] = p
             self._evt[v] = e
             self._gen += 1
+            if e < self._evt_min:
+                self._evt_min = e
 
     def _on_deliver(self, u: int, msg: Message) -> None:
         """Core delivery hook: a delivery can change a node's state."""
@@ -242,8 +268,9 @@ class RadioSimulator(SlotSteppedSimulator):
     def _wake_due(self, t: int) -> None:
         """Phase 1: wake nodes whose wake slot is ``t``."""
         vectorized = self.vectorized
-        while self._next_wake < len(self._wake_order):
-            v = int(self._wake_order[self._next_wake])
+        order = self._wake_order
+        while self._next_wake < len(order):
+            v = int(order[self._next_wake])
             if self.wake_slots[v] != t:
                 break
             self.nodes[v].wake(t)
@@ -257,6 +284,11 @@ class RadioSimulator(SlotSteppedSimulator):
                 self._refresh(v)
             else:
                 self._awake.append(v)
+        self._next_wake_slot = (
+            int(self.wake_slots[order[self._next_wake]])
+            if self._next_wake < len(order)
+            else _FAR
+        )
 
     def _collect_classic(self, t: int) -> list[tuple[int, Message]]:
         """Phase 2 (compatibility path): per-node protocol steps."""
@@ -272,24 +304,56 @@ class RadioSimulator(SlotSteppedSimulator):
 
     def _collect_vectorized(self, t: int) -> list[tuple[int, Message]]:
         """Phase 2 (fast path): scheduled events, then one batched
-        Bernoulli draw for all nodes' transmit decisions."""
+        Bernoulli draw for all nodes' transmit decisions.
+
+        The full-width work of the naive formulation is gated on caches:
+        scheduled events are only scanned when ``_evt_min`` says one is
+        due, the fire-candidate columns (``p > 0``) are rebuilt only when
+        the state generation changed, and the per-slot uniform vector is
+        compared only against those columns.  All-passive slots advance
+        the stream via :meth:`~repro._util.RngMeter.skip` instead of
+        generating — state- and meter-identical to drawing and
+        discarding, so the stream contract (one ``random(n)``'s worth of
+        variates per slot, in slot order) is unchanged.
+        """
         nodes = self.nodes
-        evt = self._evt
-        due = np.nonzero(evt <= t)[0]
-        for v in due:
-            nodes[v].on_event(t)
-            self._refresh(int(v))
-        # One rng.random(n) per slot: asleep/passive nodes carry p = 0 and
-        # can never fire (random() < 1.0 strictly).
-        u = self.rng.random(len(nodes))
-        fire = np.nonzero(u < self._p)[0]
+        n = len(nodes)
+        if self._evt_min <= t:
+            evt = self._evt
+            for v in np.nonzero(evt <= t)[0]:
+                nodes[v].on_event(t)
+                self._refresh(int(v))
+            self._evt_min = int(evt.min())
+        if self._active_gen != self._gen:
+            self._active = np.nonzero(self._p > 0.0)[0]
+            self._pa = self._p[self._active]
+            self._active_gen = self._gen
+        active = self._active
+        rng = self.rng
+        rng.calls += 1
+        rng.draws += n
+        if active.size == 0:
+            # Nothing can fire: random() < 0.0 never holds, so consume
+            # the slot's variates without generating them (skip with the
+            # meter accounting already applied above).
+            self._advance(n)
+            return []
+        # Metered draw, with the proxy's dispatch inlined (this is the
+        # hottest line of the per-slot path): identical stream, identical
+        # draw accounting.
+        u = self._rand(n)
+        if active.size == n:
+            fire = np.nonzero(u < self._p)[0]
+        else:
+            fire = active[u.take(active) < self._pa]
         outbox: list[tuple[int, Message]] = []
-        record_tx = self.core.record_tx
-        for v in fire:
-            v = int(v)
-            msg = nodes[v].emit(t)
-            if msg is not None:
-                record_tx(t, v, msg, outbox)
+        if fire.size:
+            record_tx = self.core.record_tx
+            for v in fire:
+                v = int(v)
+                msg = nodes[v].emit(t)
+                if msg is not None:
+                    record_tx(t, v, msg, outbox)
         return outbox
 
     def step(self) -> None:
@@ -297,13 +361,41 @@ class RadioSimulator(SlotSteppedSimulator):
         metrics: transmitters, deliveries, collisions, injected losses,
         and the RNG draws each stream consumed)."""
         t = self.slot
+        if self.vectorized:
+            if self._next_wake_slot <= t:
+                self._wake_due(t)
+            outbox = self._collect_vectorized(t)
+            if not outbox:
+                # Empty-slot laziness (channel contract item 4): with no
+                # transmissions, resolve() is draw-free and deliver() has
+                # no candidates, so skip both — exactly what the
+                # block-stepped path does across empty spans.  The fast
+                # path consumes exactly n protocol draws per slot and no
+                # loss draws, so the metrics row is appended directly
+                # (the fire path below still goes through the slot-
+                # aligned trace.channel, which catches any drift).
+                self._append_metrics(0, 0, 0, 0, len(self.nodes), 0)
+                self.slot = t + 1
+                return
+            loss0 = self.core.loss_draws
+            candidates = self.phy.resolve(t, outbox)
+            delivered, collided, lost = self.core.deliver(t, candidates)
+            self.trace.channel(
+                t,
+                tx=len(outbox),
+                rx=delivered,
+                collisions=collided,
+                lost=lost,
+                protocol_draws=len(self.nodes),
+                loss_draws=self.core.loss_draws - loss0,
+            )
+            self.slot = t + 1
+            return
         draws0 = self.rng.draws
         loss0 = self.core.loss_draws
-        self._wake_due(t)
-        if self.vectorized:
-            outbox = self._collect_vectorized(t)
-        else:
-            outbox = self._collect_classic(t)
+        if self._next_wake_slot <= t:
+            self._wake_due(t)
+        outbox = self._collect_classic(t)
         candidates = self.phy.resolve(t, outbox)
         delivered, collided, lost = self.core.deliver(t, candidates)
         self.trace.channel(
@@ -358,8 +450,6 @@ class RadioSimulator(SlotSteppedSimulator):
         phy = self.phy
         p = self._p
         evt = self._evt
-        wake_slots = self.wake_slots
-        order = self._wake_order
         record_tx = core.record_tx
         t = self.slot
         end = t + count
@@ -368,9 +458,8 @@ class RadioSimulator(SlotSteppedSimulator):
         seg_lo = seg_hi = t
         hits: np.ndarray | None = None  # ascending candidate fire slots, cover to hits_hi
         hits_hi = t
-        active = np.empty(0, dtype=np.int64)  # columns with p > 0
-        gen = -1  # state generation the caches were computed at (forces
-        # an `active` recompute before first use)
+        gen = -1  # state generation `hits` was computed at (forces a
+        # recompute before first use)
 
         def boundary(lo: int, hi: int) -> int | None:
             """First stop-check slot counter in [lo, hi], or None."""
@@ -380,27 +469,25 @@ class RadioSimulator(SlotSteppedSimulator):
         while t < end:
             self.slot = t
             # Phases 1-2a: wakes, then scheduled events, due at t.
-            if self._next_wake < len(order) and wake_slots[order[self._next_wake]] == t:
+            if self._next_wake_slot <= t:
                 self._wake_due(t)
-            if gen != self._gen:
-                active = np.nonzero(p > 0.0)[0]
-                gen = self._gen
-                hits = None
-            ne = int(evt.min())
-            if ne <= t:
+            if self._evt_min <= t:
                 for v in np.nonzero(evt <= t)[0]:
                     nodes[v].on_event(t)
                     self._refresh(int(v))
-                if gen != self._gen:
-                    active = np.nonzero(p > 0.0)[0]
-                    gen = self._gen
-                    hits = None
-                ne = int(evt.min())
-            nw = (
-                int(wake_slots[order[self._next_wake]])
-                if self._next_wake < len(order)
-                else _FAR
-            )
+                self._evt_min = int(evt.min())
+            # Fire-candidate columns, shared with the per-slot path and
+            # rebuilt only when the state generation moved.
+            if self._active_gen != self._gen:
+                self._active = np.nonzero(p > 0.0)[0]
+                self._pa = p[self._active]
+                self._active_gen = self._gen
+            if gen != self._gen:
+                gen = self._gen
+                hits = None
+            active = self._active
+            ne = self._evt_min
+            nw = self._next_wake_slot
             # State is constant over [t, bound): no wake or scheduled
             # event falls strictly inside, so p/evt can only change at a
             # fire slot (via deliveries).
@@ -440,7 +527,7 @@ class RadioSimulator(SlotSteppedSimulator):
                 if active.size == n:
                     rows = (sub < p).any(axis=1)
                 else:
-                    rows = (sub[:, active] < p[active]).any(axis=1)
+                    rows = (sub[:, active] < self._pa).any(axis=1)
                 hits = np.nonzero(rows)[0] + t
                 hits_hi = lim
             if hits.size == 0 or hits[0] >= lim:
@@ -466,7 +553,11 @@ class RadioSimulator(SlotSteppedSimulator):
                 self.slot = t
             # Full per-slot machinery for the fire slot t.
             loss0 = core.loss_draws
-            fire = np.nonzero(U[t - seg_lo] < p)[0]
+            urow = U[t - seg_lo]
+            if active.size == n:
+                fire = np.nonzero(urow < p)[0]
+            else:
+                fire = active[urow[active] < self._pa]
             outbox: list[tuple[int, Message]] = []
             for v in fire:
                 v = int(v)

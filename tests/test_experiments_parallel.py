@@ -13,7 +13,10 @@ from repro.experiments.parallel import (
     collect_telemetry,
     default_workers,
     resolve_seeds,
+    run_replicated_sweep,
     run_sweep,
+    shared_build,
+    shared_build_stats,
 )
 from repro.experiments.runner import Table, aggregate, sweep_seeds
 
@@ -146,6 +149,111 @@ class TestTelemetry:
             run_sweep(_square, seeds=4, workers=1)
         path = save_sweep_telemetry(tel, tmp_path / "tel.json")
         assert load_sweep_telemetry(path) == tel
+
+
+def _tiny_scenario():
+    from repro.core import Parameters
+    from repro.graphs import random_udg
+
+    dep = random_udg(12, expected_degree=5.0, seed=3, connected=True)
+    params = Parameters.practical(12, max(2, dep.max_degree), 5, 18)
+    return dep, params, None
+
+
+def _slots_row(res):
+    return {
+        "slots": res.slots,
+        "colors": sorted(set(res.colors.tolist())),
+        "tx_total": int(res.trace.channel_metrics.totals()["tx"]),
+    }
+
+
+class TestSharedBuild:
+    def test_builds_once_per_key(self):
+        shared_build_stats(reset=True)
+        calls = []
+        for _ in range(3):
+            value = shared_build("k", lambda: calls.append(1) or "built")
+        assert value == "built" and len(calls) == 1
+        stats = shared_build_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 2
+
+    def test_distinct_keys_distinct_builds(self):
+        shared_build_stats(reset=True)
+        assert shared_build(("a", 1), lambda: 1) == 1
+        assert shared_build(("a", 2), lambda: 2) == 2
+        assert shared_build_stats()["misses"] == 2
+
+    def test_unhashable_key_rejected(self):
+        with pytest.raises(TypeError, match="hashable"):
+            shared_build(["list", "key"], lambda: 1)
+
+
+class TestReplicatedSweep:
+    """Regression: the replica worker path (build once per scenario
+    hash, run chunks as engine batches) stays byte-identical to the
+    in-process path — and to the per-seed vectorized solo runs."""
+
+    def test_worker_vs_in_process_byte_identity(self):
+        seeds = [41, 42, 43, 44, 45]
+        serial = run_replicated_sweep(
+            _tiny_scenario, seeds=seeds, workers=1, metric=_slots_row
+        )
+        for chunksize in (1, 2, 100):
+            par = run_replicated_sweep(
+                _tiny_scenario,
+                seeds=seeds,
+                workers=2,
+                chunksize=chunksize,
+                metric=_slots_row,
+            )
+            assert par == serial
+
+    def test_matches_per_seed_solo_runs(self):
+        from repro.core import BernoulliColoringNode, run_coloring
+
+        dep, params, _ = _tiny_scenario()
+        seeds = [7, 8, 9]
+        batched = run_replicated_sweep(
+            _tiny_scenario, seeds=seeds, workers=1, metric=_slots_row
+        )
+        solo = [
+            _slots_row(
+                run_coloring(dep, params, seed=s, node_cls=BernoulliColoringNode)
+            )
+            for s in seeds
+        ]
+        assert batched == solo
+
+    def test_scenario_built_once_in_process(self):
+        shared_build_stats(reset=True)
+        run_replicated_sweep(_tiny_scenario, seeds=[1, 2], workers=1, metric=_slots_row)
+        run_replicated_sweep(_tiny_scenario, seeds=[3, 4], workers=1, metric=_slots_row)
+        stats = shared_build_stats()
+        assert stats["misses"] == 1 and stats["hits"] >= 1
+
+    def test_unpicklable_build_falls_back_serially(self):
+        dep, params, wake = _tiny_scenario()
+        rows = run_replicated_sweep(
+            lambda: (dep, params, wake),  # lambdas cannot cross processes
+            seeds=[5, 6],
+            workers=4,
+            metric=_slots_row,
+        )
+        assert rows == run_replicated_sweep(
+            _tiny_scenario, seeds=[5, 6], workers=1, metric=_slots_row
+        )
+
+    def test_telemetry_and_results_without_metric(self):
+        with collect_telemetry() as tel:
+            results = run_replicated_sweep(_tiny_scenario, seeds=[11, 12], workers=1)
+        assert [t.seed for t in tel] == [11, 12]
+        assert all(t.wall_s >= 0 for t in tel)
+        assert [r.completed for r in results] == [True, True]
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_replicated_sweep(_tiny_scenario, seeds=2, workers=-1)
 
 
 class TestTableCsvFormatting:

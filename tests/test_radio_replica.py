@@ -1,0 +1,301 @@
+"""Cross-replica batched execution: byte-identity with solo runs.
+
+:mod:`repro.radio.replica` promises that replica ``r`` of a batched run
+is **byte-identical** to the solo run with ``seed=seeds[r]`` — same
+colors, same exact stop slot, same per-slot channel metrics (all six
+columns, including the per-stream draw counters), and the same raw
+:class:`~repro._util.RngMeter` state on the protocol stream.  These
+tests check the promise the direct way, plus the two failure modes the
+batch driver could introduce on its own:
+
+- **Early-finish isolation** (the R>1 stop-predicate/PCG64-skip audit):
+  a replica that completes early must not advance or meter the streams
+  of still-running replicas.  We pin each replica's exact
+  ``rng.draws``/``rng.calls`` against its solo run on a staggered-wake
+  scenario where completion slots genuinely differ.
+- **Shared draw-buffer aliasing**: replicas share one segment draw
+  buffer; sharing must be invisible to results.
+
+The conformance matrix (``REPLICA_MATRIX``) pins specific scenarios at
+level-2 event granularity; the Hypothesis property here walks random
+deployments, seeds, loss rates, and channel counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BernoulliColoringNode, Parameters, run_coloring
+from repro.core.node import ColoringNode
+from repro.core.protocol import build_simulator
+from repro.graphs import random_udg
+from repro.radio.replica import ReplicaBatchSimulator, run_replicated
+from repro.wakeup import uniform_random
+
+_METRIC_COLUMNS = ("tx", "rx", "collisions", "lost", "protocol_draws", "loss_draws")
+
+
+def _world(n=20, degree=5.0, graph_seed=3, wake_seed=4, wake_window=120):
+    dep = random_udg(n, expected_degree=degree, seed=graph_seed, connected=True)
+    params = Parameters.practical(n, max(2, dep.max_degree), 5, 18)
+    if wake_window == 0:
+        wake = np.zeros(n, dtype=np.int64)
+    else:
+        wake = uniform_random(n, window=wake_window, seed=wake_seed)
+    return dep, params, wake
+
+
+def _assert_result_identical(solo, batched):
+    """Full ColoringResult equality: colors, slots, metrics, traces."""
+    assert np.array_equal(solo.colors, batched.colors)
+    assert np.array_equal(solo.tcs, batched.tcs)
+    assert solo.slots == batched.slots
+    assert solo.completed == batched.completed
+    a = solo.trace.channel_metrics.as_arrays()
+    b = batched.trace.channel_metrics.as_arrays()
+    for name in _METRIC_COLUMNS:
+        assert np.array_equal(a[name], b[name]), f"column {name}"
+    for attr in ("tx_count", "rx_count", "collision_count", "decide_slot"):
+        assert np.array_equal(
+            getattr(solo.trace, attr), getattr(batched.trace, attr)
+        ), attr
+
+
+class TestBatchedEqualsSolo:
+    def test_collision_phy(self):
+        dep, params, wake = _world()
+        seeds = [11, 12, 13]
+        batched = run_replicated(dep, params, wake, seeds=seeds)
+        for seed, res in zip(seeds, batched):
+            solo = run_coloring(
+                dep, params, wake, seed=seed, node_cls=BernoulliColoringNode
+            )
+            _assert_result_identical(solo, res)
+
+    def test_lossy_and_multichannel(self):
+        dep, params, wake = _world(n=16, graph_seed=7, wake_seed=8)
+        for kwargs in ({"loss_prob": 0.12}, {"channels": 2}):
+            seeds = [21, 22]
+            batched = run_replicated(dep, params, wake, seeds=seeds, **kwargs)
+            for seed, res in zip(seeds, batched):
+                solo = run_coloring(
+                    dep,
+                    params,
+                    wake,
+                    seed=seed,
+                    node_cls=BernoulliColoringNode,
+                    **kwargs,
+                )
+                _assert_result_identical(solo, res)
+
+    def test_batch_grouping_is_invisible(self):
+        """Splitting one batch into sub-batches changes nothing (the
+        worker path chunks a replica set across processes)."""
+        dep, params, wake = _world(n=14, graph_seed=9, wake_seed=10)
+        whole = run_replicated(dep, params, wake, seeds=[5, 6, 7, 8])
+        parts = run_replicated(dep, params, wake, seeds=[5, 6]) + run_replicated(
+            dep, params, wake, seeds=[7, 8]
+        )
+        for a, b in zip(whole, parts):
+            _assert_result_identical(a, b)
+
+
+class TestRngMeterIsolation:
+    """Satellite audit: early finishers must not touch other streams."""
+
+    def _solo_blocked(self, dep, params, wake, seed, *, block, max_slots=50_000):
+        sim, nodes = build_simulator(
+            dep, params, wake, seed=seed, node_cls=BernoulliColoringNode
+        )
+        res = sim.run(
+            max_slots,
+            stop_when=lambda s: s.trace.decided >= dep.n,
+            check_every=1,
+            block=block,
+        )
+        return sim, res
+
+    def test_draw_count_pin_per_replica(self):
+        """Each replica's RngMeter state (draws *and* calls) equals the
+        solo blocked run with the same seed and block — on a staggered
+        scenario where completion slots genuinely differ, so an
+        early-finishing replica advancing a neighbor's stream would
+        shift these counters."""
+        dep, params, wake = _world(n=18, graph_seed=5, wake_seed=6, wake_window=200)
+        seeds = [31, 32, 33, 34]
+        block = 4096
+        batch = ReplicaBatchSimulator(dep, params, wake, seeds=seeds)
+        batch.run(50_000, block=block)
+        slots = [sim.slot for sim in batch.sims]
+        assert len(set(slots)) > 1, "scenario must stagger completion slots"
+        for r, seed in enumerate(seeds):
+            solo_sim, solo_res = self._solo_blocked(
+                dep, params, wake, seed, block=block
+            )
+            assert batch.sims[r].rng.draws == solo_sim.rng.draws, f"replica {r}"
+            assert batch.sims[r].rng.calls == solo_sim.rng.calls, f"replica {r}"
+            assert batch.sims[r].slot == solo_res.slots
+
+    def test_protocol_draw_accounting(self):
+        """On the vectorized path every slot consumes exactly n protocol
+        variates (generated or skipped), so per replica the metric
+        column must sum to ``slots * n``; the raw meter may only exceed
+        it by the documented never-simulated remainder of the final
+        draw segment (< _DRAW_CHUNK slots' worth) — any cross-replica
+        stream touch breaks these bounds."""
+        from repro.radio.engine import _DRAW_CHUNK
+
+        dep, params, wake = _world(n=18, graph_seed=5, wake_seed=6, wake_window=200)
+        batch = ReplicaBatchSimulator(dep, params, wake, seeds=[41, 42, 43])
+        batch.run(50_000)
+        for sim in batch.sims:
+            protocol = int(
+                sim.trace.channel_metrics.as_arrays()["protocol_draws"].sum()
+            )
+            assert protocol == sim.slot * dep.n
+            overdraw = sim.rng.draws - protocol
+            assert 0 <= overdraw < _DRAW_CHUNK * dep.n
+
+    def test_removing_a_finished_replica_changes_nothing(self):
+        """Replica B's trajectory is identical whether it shares a batch
+        with an early-finishing A or runs in a batch of one."""
+        dep, params, wake = _world(n=14, graph_seed=13, wake_seed=14)
+        paired = run_replicated(dep, params, wake, seeds=[51, 52])
+        alone = run_replicated(dep, params, wake, seeds=[52])
+        _assert_result_identical(alone[0], paired[1])
+
+
+class TestGoldenTenReplicaBatch:
+    """Pinned numbers for a 10-replica batched run (regenerate only for
+    an intentional, understood stream change — see tests/test_golden.py
+    for the policy)."""
+
+    SEEDS = list(range(700, 710))
+    #: exact completion slot per replica
+    SLOTS = [13879, 10732, 11180, 10632, 14712, 11005, 10453, 10810, 11036, 10783]
+    #: exact protocol-stream RngMeter draw count per replica (slots * n
+    #: consumed, plus the final segment's documented remainder)
+    DRAWS = [
+        280120, 217180, 226140, 215180, 296780,
+        222640, 211600, 218740, 223260, 218200,
+    ]
+    #: distinct colors used per replica
+    COLORS = [10, 9, 9, 9, 10, 7, 8, 9, 9, 9]
+
+    @pytest.fixture(scope="class")
+    def batch(self):
+        dep, params, wake = _world(
+            n=20, degree=5.0, graph_seed=17, wake_seed=18, wake_window=150
+        )
+        batch = ReplicaBatchSimulator(dep, params, wake, seeds=self.SEEDS)
+        batch.run(50_000)
+        return batch
+
+    def test_completion_slots(self, batch):
+        assert [sim.slot for sim in batch.sims] == self.SLOTS
+
+    def test_rng_draws(self, batch):
+        assert [sim.rng.draws for sim in batch.sims] == self.DRAWS
+
+    def test_color_counts(self, batch):
+        colors = batch.color_matrix()
+        assert colors.shape == (10, 20)
+        assert (colors >= 0).all()
+        assert [len(set(row.tolist())) for row in colors] == self.COLORS
+
+    def test_decide_slot_matrix(self, batch):
+        decided = batch.decide_slot_matrix()
+        assert decided.shape == (10, 20)
+        assert (decided >= 0).all()
+        assert [int(row.max()) for row in decided] == [s - 1 for s in self.SLOTS]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(4, 12),
+    degree=st.floats(3.0, 6.0),
+    graph_seed=st.integers(0, 10**6),
+    wake_seed=st.integers(0, 10**6),
+    seed0=st.integers(0, 10**6),
+    replicas=st.integers(1, 4),
+    wake_window=st.sampled_from([0, 40, 150]),
+    loss_prob=st.sampled_from([0.0, 0.15]),
+    channels=st.sampled_from([1, 2]),
+    block=st.sampled_from([1, 7, 4096]),
+)
+def test_batched_equals_solo_property(
+    n, degree, graph_seed, wake_seed, seed0, replicas, wake_window, loss_prob, channels, block
+):
+    """Random world, random replica set: batched(R, seeds) reproduces
+    [solo(seed) for seed in seeds] exactly, including loss and the
+    multichannel PHY."""
+    dep = random_udg(n, expected_degree=degree, seed=graph_seed)
+    params = Parameters.practical(n, max(2, dep.max_degree), 5, 18)
+    wake = (
+        np.zeros(n, dtype=np.int64)
+        if wake_window == 0
+        else uniform_random(n, window=wake_window, seed=wake_seed)
+    )
+    seeds = [seed0 + 977 * r for r in range(replicas)]
+    max_slots = 600
+    batched = run_replicated(
+        dep,
+        params,
+        wake,
+        seeds=seeds,
+        loss_prob=loss_prob,
+        channels=channels,
+        max_slots=max_slots,
+        block=block,
+    )
+    for seed, res in zip(seeds, batched):
+        solo = run_coloring(
+            dep,
+            params,
+            wake,
+            seed=seed,
+            node_cls=BernoulliColoringNode,
+            loss_prob=loss_prob,
+            channels=channels,
+            max_slots=max_slots,
+        )
+        _assert_result_identical(solo, res)
+
+
+class TestValidation:
+    def test_rejects_empty_seed_list(self):
+        dep, params, wake = _world(n=6, wake_window=0)
+        with pytest.raises(ValueError, match="seed"):
+            ReplicaBatchSimulator(dep, params, wake, seeds=[])
+
+    def test_rejects_classic_node_cls(self):
+        dep, params, wake = _world(n=6, wake_window=0)
+        with pytest.raises(ValueError, match="batched node_cls"):
+            ReplicaBatchSimulator(
+                dep, params, wake, seeds=[1], node_cls=ColoringNode
+            )
+
+    def test_rejects_empty_deployment(self):
+        dep = random_udg(0, expected_degree=3.0, seed=1)
+        with pytest.raises(ValueError, match="empty"):
+            run_replicated(dep, seeds=[1])
+
+    def test_rejects_invalid_block(self):
+        dep, params, wake = _world(n=6, wake_window=0)
+        batch = ReplicaBatchSimulator(dep, params, wake, seeds=[1])
+        with pytest.raises(ValueError, match="block"):
+            batch.run(10, block=0)
+
+    def test_state_tensors_are_views(self):
+        """The (R, n) tensors are the replicas' live engine state, not
+        snapshots: each simulator's dense vectors alias the batch rows."""
+        dep, params, wake = _world(n=8, wake_window=0)
+        batch = ReplicaBatchSimulator(dep, params, wake, seeds=[1, 2])
+        assert batch.P.shape == (2, 8) and batch.EVT.shape == (2, 8)
+        for r, sim in enumerate(batch.sims):
+            assert sim._p.base is batch.P
+            assert sim._evt.base is batch.EVT
+            assert np.shares_memory(sim._p, batch.P[r])
