@@ -110,6 +110,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "fast path engages; results are identical at any B)",
     )
     color.add_argument(
+        "--sparse", action="store_true",
+        help="active-set sparse stepping: per-slot tensor work is "
+        "restricted to awake-and-undecided nodes (byte-identical "
+        "results; pays off when most nodes are asleep or decided)",
+    )
+    color.add_argument(
+        "--partitions", type=int, default=0, metavar="T",
+        help="spatial domain decomposition into ~T grid tiles with "
+        "halo-exact sub-CSR blocks (byte-identical results; 0 = off)",
+    )
+    color.add_argument(
+        "--partition-workers", type=int, default=1, metavar="W",
+        help="worker processes for partitioned tile scans (default 1 = "
+        "in-process; results are identical at any worker count)",
+    )
+    color.add_argument(
         "--metrics", action="store_true",
         help="also print per-slot channel metrics (totals, peaks, RNG "
         "draws per stream)",
@@ -214,6 +230,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "per-replica solo runs instead of the classic-vs-vectorized "
         "comparison (0 = off)",
     )
+    conform.add_argument(
+        "--sparse", action="store_true",
+        help="with --family: put the blocked side of the comparison on "
+        "the sparse stepping path; without: run the pinned SPARSE_MATRIX "
+        "instead of the full matrix",
+    )
+    conform.add_argument(
+        "--partitions", type=int, default=0, metavar="T",
+        help="with --family: put the blocked side on the partitioned "
+        "path with ~T grid tiles; without: any nonzero T runs the "
+        "pinned PARTITION_MATRIX instead of the full matrix",
+    )
 
     staticcheck = sub.add_parser(
         "staticcheck",
@@ -240,12 +268,18 @@ def _cmd_color(args) -> int:
         print("--block must be >= 1", file=sys.stderr)
         return 2
     run_kwargs = {}
-    if args.block > 1:
+    if args.block > 1 or args.sparse or args.partitions:
         from repro.core.vector_node import BernoulliColoringNode
 
         # Block-stepping pays off on the vectorized fast path, which
         # needs the batched node interface; same protocol, same paper.
+        # Sparse and partitioned stepping require that path outright.
         run_kwargs = {"block": args.block, "node_cls": BernoulliColoringNode}
+    if args.sparse:
+        run_kwargs["sparse"] = True
+    if args.partitions:
+        run_kwargs["partitions"] = args.partitions
+        run_kwargs["partition_workers"] = args.partition_workers
     scale_kwargs = {}
     if args.channels > 1 and args.regime == "practical":
         # Hopping thins the meeting rate by 1/k; scale the constants
@@ -297,11 +331,13 @@ def _cmd_conform(args) -> int:
         Scenario,
         block_matrix,
         fuzz,
+        partition_matrix,
         phy_matrix,
         quick_matrix,
         replica_matrix,
         run_matrix,
         run_scenario,
+        sparse_matrix,
     )
 
     broken = OffByOneCounterNode if args.inject_bug else None
@@ -320,6 +356,8 @@ def _cmd_conform(args) -> int:
             channels=args.channels,
             block=args.block,
             replicas=args.replicas,
+            sparse=args.sparse,
+            partitions=args.partitions,
         )
         reports = [
             run_scenario(
@@ -327,7 +365,15 @@ def _cmd_conform(args) -> int:
             )
         ]
     else:
-        if args.quick:
+        if args.sparse or args.partitions:
+            # Focused pinned matrices for the sparse / partitioned fast
+            # paths (both flags compose into the concatenation).
+            matrix = ()
+            if args.sparse:
+                matrix = matrix + sparse_matrix()
+            if args.partitions:
+                matrix = matrix + partition_matrix()
+        elif args.quick:
             matrix = quick_matrix()
         elif broken is not None:
             # Broken node classes only plug into the dual-engine lockstep;
@@ -335,7 +381,12 @@ def _cmd_conform(args) -> int:
             matrix = SCENARIO_MATRIX
         else:
             matrix = (
-                SCENARIO_MATRIX + phy_matrix() + block_matrix() + replica_matrix()
+                SCENARIO_MATRIX
+                + phy_matrix()
+                + block_matrix()
+                + replica_matrix()
+                + sparse_matrix()
+                + partition_matrix()
             )
         if broken is not None:
             # The broken class must reach run_lockstep, so run serially.

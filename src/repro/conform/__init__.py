@@ -37,27 +37,33 @@ from repro.conform.runner import FuzzResult, fuzz, run_matrix, run_scenario
 from repro.conform.scenarios import (
     BLOCK_MATRIX,
     FAMILIES,
+    PARTITION_MATRIX,
     PHY_MATRIX,
     PHYS,
     REPLICA_MATRIX,
     SCENARIO_MATRIX,
     SCHEDULES,
+    SPARSE_MATRIX,
     Scenario,
     block_matrix,
+    partition_matrix,
     phy_matrix,
     quick_matrix,
     random_scenarios,
     replica_matrix,
+    sparse_matrix,
 )
 
 __all__ = [
     "BLOCK_MATRIX",
     "FAMILIES",
+    "PARTITION_MATRIX",
     "PHYS",
     "PHY_MATRIX",
     "REPLICA_MATRIX",
     "SCENARIO_MATRIX",
     "SCHEDULES",
+    "SPARSE_MATRIX",
     "ConformanceReport",
     "Divergence",
     "FuzzResult",
@@ -72,6 +78,7 @@ __all__ = [
     "build_lockstep",
     "fuzz",
     "localize_slot",
+    "partition_matrix",
     "phy_matrix",
     "quick_matrix",
     "random_scenarios",
@@ -82,4 +89,5 @@ __all__ = [
     "run_replica_lockstep",
     "run_scenario",
     "run_unaligned_lockstep",
+    "sparse_matrix",
 ]

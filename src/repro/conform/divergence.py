@@ -73,6 +73,11 @@ class Divergence:
     #: (replica, slot, node, field), and ``classic`` / ``vectorized``
     #: carry the solo and batched values respectively.
     replica: int | None = None
+    #: owning tile of the diverging node under partitioned execution
+    #: (``None`` when the run was unpartitioned or no node is named):
+    #: points the investigation at one tile's sub-CSR / halo-merge
+    #: bookkeeping instead of the whole domain.
+    tile: int | None = None
 
     def reproducer(self) -> dict[str, Any]:
         """Minimized machine-readable reproducer: the scenario record
@@ -80,6 +85,8 @@ class Divergence:
         out: dict[str, Any] = {"max_slots": self.slot + 1}
         if self.replica is not None:
             out["replica"] = self.replica
+        if self.tile is not None:
+            out["tile"] = self.tile
         if self.scenario is not None:
             out.update(
                 family=self.scenario.family,
@@ -91,6 +98,8 @@ class Divergence:
                 param_scale=self.scenario.param_scale,
                 phy=self.scenario.phy,
                 channels=self.scenario.channels,
+                sparse=self.scenario.sparse,
+                partitions=self.scenario.partitions,
             )
         return out
 
@@ -101,6 +110,8 @@ class Divergence:
             where = f"replica {self.replica}, " + where
         if self.node is not None:
             where += f", node {self.node}"
+        if self.tile is not None:
+            where += f" (tile {self.tile})"
         lines = [
             f"DIVERGENCE at {where}: field {self.field!r}",
             f"  compatibility path: {self.classic!r}",

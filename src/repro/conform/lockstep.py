@@ -343,6 +343,10 @@ def run_block_lockstep(
     node_cls: type = BernoulliColoringNode,
     scenario: Scenario | None = None,
     phy_factory: Callable[[], PhyModel] | None = None,
+    sparse: bool = False,
+    partitions: int = 0,
+    partition_workers: int = 1,
+    channels: int = 1,
 ) -> ConformanceReport:
     """Lockstep the vectorized per-slot path against its block-stepped mode.
 
@@ -362,10 +366,25 @@ def run_block_lockstep(
     while the per-slot side takes single steps; events and metric rows
     are compared chunk-by-chunk and any mismatch is localized to its
     exact slot.
+
+    ``sparse`` and ``partitions`` move the *blocked* side onto the
+    engine's accelerated paths (active-set sparse stepping; a
+    :class:`~repro.radio.partition.GridPartition` with the tile-by-tile
+    PHY, scanning on ``partition_workers`` processes) while the per-slot
+    side stays dense — so the byte-identity claim extends to those paths
+    wholesale, draw counters included.  Under partitioned execution a
+    divergence additionally reports the diverging node's tile.
+    ``channels`` must name the channel count when ``phy_factory`` builds
+    a multi-channel PHY, so the partitioned side hops identically.
     """
     if block < 1:
         raise ValueError(f"block must be >= 1, got {block}")
     n = dep.n
+    partition = None
+    if partitions:
+        from repro.radio.partition import GridPartition, make_partitioned_phy
+
+        partition = GridPartition(dep, partitions)
 
     def conform_rng() -> np.random.Generator:
         return spawn_generator(seed, _CONFORM_KEY)
@@ -375,7 +394,12 @@ def run_block_lockstep(
     nodes_a = [node_cls(v, params, trace_a) for v in range(n)]
     nodes_b = [node_cls(v, params, trace_b) for v in range(n)]
 
-    def build(nodes, trace) -> RadioSimulator:
+    def build(nodes, trace, accelerated: bool) -> RadioSimulator:
+        phy: PhyModel | None
+        if accelerated and partition is not None:
+            phy = make_partitioned_phy(partition, channels)
+        else:
+            phy = phy_factory() if phy_factory is not None else None
         return RadioSimulator(
             dep,
             nodes,
@@ -384,10 +408,14 @@ def run_block_lockstep(
             trace=trace,
             loss_prob=loss_prob,
             vectorized=True,
-            phy=phy_factory() if phy_factory is not None else None,
+            phy=phy,
+            sparse=sparse and accelerated,
+            partition=partition if accelerated else None,
+            partition_workers=partition_workers,
         )
 
-    sim_a, sim_b = build(nodes_a, trace_a), build(nodes_b, trace_b)
+    sim_a = build(nodes_a, trace_a, False)
+    sim_b = build(nodes_b, trace_b, True)
     if max_slots is None:
         wake_max = int(wake_slots.max()) if n else 0
         max_slots = suggested_max_slots(params, wake_max)
@@ -433,6 +461,10 @@ def run_block_lockstep(
     if divergence is None:
         pair = LockstepPair(sim_a, sim_b, nodes_a, nodes_b)
         divergence = _final_divergence(pair, scenario)
+    if divergence is not None and partition is not None and divergence.node is not None:
+        divergence = replace(
+            divergence, tile=int(partition.tile_of[divergence.node])
+        )
     completed = trace_a.decided >= n and trace_b.decided >= n
     return ConformanceReport(
         scenario=scenario,

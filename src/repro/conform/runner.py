@@ -46,7 +46,9 @@ def run_scenario(
     unaligned simulator on a scripted beacon population.  With
     ``scenario.block > 0`` the comparison is instead the vectorized
     path's per-slot stepping against its block-stepped mode
-    (:func:`~repro.conform.lockstep.run_block_lockstep`); with
+    (:func:`~repro.conform.lockstep.run_block_lockstep`), with
+    ``scenario.sparse`` / ``scenario.partitions`` moving the blocked
+    side onto the engine's sparse or partitioned fast path; with
     ``scenario.replicas > 0`` it is the replica batch against its
     per-replica solo runs
     (:func:`~repro.conform.lockstep.run_replica_lockstep`).
@@ -94,6 +96,9 @@ def run_scenario(
             max_slots=max_slots,
             scenario=scenario,
             phy_factory=phy_factory,
+            sparse=scenario.sparse,
+            partitions=scenario.partitions,
+            channels=scenario.channels,
         )
     return run_lockstep(
         dep,

@@ -32,17 +32,21 @@ from repro.wakeup import sequential, staggered_neighbors, synchronous, uniform_r
 __all__ = [
     "BLOCK_MATRIX",
     "FAMILIES",
+    "PARTITION_MATRIX",
     "PHYS",
     "PHY_MATRIX",
     "REPLICA_MATRIX",
     "SCENARIO_MATRIX",
     "SCHEDULES",
+    "SPARSE_MATRIX",
     "Scenario",
     "block_matrix",
+    "partition_matrix",
     "phy_matrix",
     "quick_matrix",
     "random_scenarios",
     "replica_matrix",
+    "sparse_matrix",
 ]
 
 #: graph families the conformance matrix covers (UDG, torus, UBG over a
@@ -85,6 +89,15 @@ class Scenario:
     #: replica of one batched run against its solo run with the same
     #: seed, divergences localized to (replica, slot, node, field).
     replicas: int = 0
+    #: active-set sparse stepping on the blocked side of a block-lockstep
+    #: cell (requires ``block >= 1``): the dense per-slot run is compared
+    #: against the sparse scattered-draw run, all six metric columns
+    #: included.  ``block=1`` exercises the per-slot sparse path.
+    sparse: bool = False
+    #: requested tile count for partitioned execution on the blocked side
+    #: of a block-lockstep cell (0 = unpartitioned; requires
+    #: ``block >= 1``).  Divergences report the diverging node's tile.
+    partitions: int = 0
 
     def __post_init__(self) -> None:
         if self.family not in FAMILIES:
@@ -121,6 +134,19 @@ class Scenario:
             raise ValueError(
                 "replica cells fix their own batch granularity; pick one "
                 "of replicas / block"
+            )
+        if self.sparse and not self.block:
+            raise ValueError(
+                "sparse cells lockstep the dense per-slot path against "
+                "sparse stepping via the block lockstep; set block >= 1"
+            )
+        if self.partitions < 0:
+            raise ValueError("scenarios need partitions >= 0")
+        if self.partitions and not self.block:
+            raise ValueError(
+                "partition cells lockstep the dense per-slot path against "
+                "partitioned execution via the block lockstep; set "
+                "block >= 1"
             )
 
     # ------------------------------------------------------------------
@@ -186,6 +212,10 @@ class Scenario:
             base += f" block={self.block}"
         if self.replicas:
             base += f" R={self.replicas}"
+        if self.sparse:
+            base += " sparse"
+        if self.partitions:
+            base += f" tiles={self.partitions}"
         return base
 
     def cli_args(self) -> str:
@@ -203,6 +233,10 @@ class Scenario:
             base += f" --block {self.block}"
         if self.replicas:
             base += f" --replicas {self.replicas}"
+        if self.sparse:
+            base += " --sparse"
+        if self.partitions:
+            base += f" --partitions {self.partitions}"
         return base
 
 
@@ -308,6 +342,87 @@ def block_matrix() -> tuple[Scenario, ...]:
     return BLOCK_MATRIX
 
 
+def _sparse_matrix() -> tuple[Scenario, ...]:
+    """Pinned dense-vs-sparse lockstep cells.
+
+    These assert that active-set sparse stepping (``sparse=True``) is
+    **byte-identical** to the dense engine — the scattered scalar walk
+    reads the same PCG64 lattice positions the dense ``random(n)`` rows
+    occupy, so colors, stop slots, every level-2 trace event, and all
+    six channel-metric columns (draw counters included) must match to
+    the draw.  Cells cover: the blocked sparse span walker across wake
+    schedules (staggered/random produce the long low-activity spans
+    sparse stepping exists for), loss injection (the loss child must be
+    consumed identically), multi-channel hopping (lazy hop draws stay
+    lazy), and ``block=1`` — the *per-slot* sparse path in
+    ``_collect_vectorized``, which block cells never reach.
+    """
+    return (
+        Scenario(family="udg", n=20, degree=5.0, schedule="sync",
+                 seed=7000, block=64, sparse=True),
+        Scenario(family="udg", n=22, degree=6.0, schedule="random",
+                 loss_prob=0.1, seed=7001, block=7, sparse=True),
+        Scenario(family="torus", n=20, degree=6.0, schedule="staggered",
+                 seed=7010, block=256, sparse=True),
+        Scenario(family="quasi_udg", n=18, degree=5.0, schedule="random",
+                 loss_prob=0.2, seed=7012, block=1, sparse=True),
+        Scenario(family="udg", n=18, degree=5.0, schedule="sync",
+                 seed=7100, phy="multichannel", channels=2,
+                 param_scale=2.0, block=32, sparse=True),
+    )
+
+
+#: the pinned sparse-stepping matrix (collision / lossy / multichannel /
+#: per-slot cells).
+SPARSE_MATRIX: tuple[Scenario, ...] = _sparse_matrix()
+
+
+def sparse_matrix() -> tuple[Scenario, ...]:
+    """The pinned dense-vs-sparse scenarios (see :data:`SPARSE_MATRIX`)."""
+    return SPARSE_MATRIX
+
+
+def _partition_matrix() -> tuple[Scenario, ...]:
+    """Pinned dense-vs-partitioned lockstep cells.
+
+    These assert the spatial-decomposition determinism contract
+    (DESIGN.md §5.13): per-tile span scans on speculative generator
+    clones plus the tile-by-tile PHY with its deterministic halo merge
+    must be **byte-identical** to the dense single-domain engine.  The
+    torus cell makes the halo wrap the domain; the quasi-UDG cell has
+    links beyond the unit radius, so both prove the halo is
+    graph-exact, not unit-disk-geometric.  The composed cell runs
+    sparse *and* partitioned at once (the two accelerations share the
+    active-column caches).  A divergence in any cell reports the
+    diverging node's tile id.
+    """
+    return (
+        Scenario(family="udg", n=20, degree=5.0, schedule="sync",
+                 seed=8000, block=256, partitions=4),
+        Scenario(family="torus", n=22, degree=6.0, schedule="random",
+                 loss_prob=0.1, seed=8001, block=64, partitions=4),
+        Scenario(family="quasi_udg", n=18, degree=5.0, schedule="staggered",
+                 seed=8010, block=128, partitions=9),
+        Scenario(family="udg", n=18, degree=5.0, schedule="sync",
+                 seed=8100, phy="multichannel", channels=2,
+                 param_scale=2.0, block=32, partitions=4),
+        Scenario(family="udg", n=22, degree=6.0, schedule="random",
+                 loss_prob=0.1, seed=8110, block=256, partitions=4,
+                 sparse=True),
+    )
+
+
+#: the pinned partition matrix (collision / lossy / multichannel /
+#: composed sparse+partition cells).
+PARTITION_MATRIX: tuple[Scenario, ...] = _partition_matrix()
+
+
+def partition_matrix() -> tuple[Scenario, ...]:
+    """The pinned dense-vs-partitioned scenarios (see
+    :data:`PARTITION_MATRIX`)."""
+    return PARTITION_MATRIX
+
+
 def _replica_matrix() -> tuple[Scenario, ...]:
     """Pinned batched-vs-solo replica lockstep cells.
 
@@ -374,6 +489,32 @@ def quick_matrix() -> tuple[Scenario, ...]:
             loss_prob=0.1,
             seed=504,
             block=32,
+        )
+    )
+    # One sparse and one partitioned cell guard the engine's fast paths
+    # in the smoke subset (full coverage lives in SPARSE_MATRIX /
+    # PARTITION_MATRIX).
+    out.append(
+        Scenario(
+            family="udg",
+            n=16,
+            degree=5.0,
+            schedule="staggered",
+            seed=505,
+            block=64,
+            sparse=True,
+        )
+    )
+    out.append(
+        Scenario(
+            family="torus",
+            n=16,
+            degree=5.0,
+            schedule="random",
+            loss_prob=0.1,
+            seed=506,
+            block=64,
+            partitions=4,
         )
     )
     return tuple(out)

@@ -108,11 +108,20 @@ def build_simulator(
     unaligned: bool = False,
     offsets: np.ndarray | None = None,
     channels: int = 1,
+    sparse: bool = False,
+    partitions: int = 0,
+    partition_workers: int = 1,
 ) -> tuple[RadioSimulator, list[ColoringNode]]:
     """Construct (but do not run) a simulator wired with coloring nodes.
 
     Exposed separately so tests and experiments can step manually or
-    inject observers between slots.
+    inject observers between slots.  ``sparse`` enables active-set
+    sparse stepping; ``partitions > 0`` builds a
+    :class:`~repro.radio.partition.GridPartition` over the deployment,
+    installs the partition-aware PHY, and scans spans tile-by-tile
+    (``partition_workers`` processes).  Both require the vectorized fast
+    path (a batched ``node_cls``) and are byte-identical to the dense
+    engine — see DESIGN.md §5.13.
     """
     trace = TraceRecorder(dep.n, level=trace_level)
     if per_node_params is not None and len(per_node_params) != dep.n:
@@ -138,6 +147,11 @@ def build_simulator(
                 "multi-channel resolution is not implemented on the "
                 "unaligned engine (pick one of unaligned / channels)"
             )
+        if sparse or partitions:
+            raise ValueError(
+                "sparse/partitioned execution is not implemented on the "
+                "unaligned engine"
+            )
         sim = UnalignedRadioSimulator(
             dep,
             nodes,
@@ -150,7 +164,13 @@ def build_simulator(
         )
     else:
         phy = None
-        if channels > 1:
+        partition = None
+        if partitions:
+            from repro.radio.partition import GridPartition, make_partitioned_phy
+
+            partition = GridPartition(dep, partitions)
+            phy = make_partitioned_phy(partition, channels)
+        elif channels > 1:
             from repro.radio.channel import MultiChannelPhy
 
             phy = MultiChannelPhy(channels)
@@ -163,6 +183,9 @@ def build_simulator(
             max_message_bits=max_bits,
             loss_prob=loss_prob,
             phy=phy,
+            sparse=sparse,
+            partition=partition,
+            partition_workers=partition_workers,
         )
     return sim, nodes
 
@@ -183,6 +206,9 @@ def run_coloring(
     offsets: np.ndarray | None = None,
     channels: int = 1,
     block: int = 1,
+    sparse: bool = False,
+    partitions: int = 0,
+    partition_workers: int = 1,
 ) -> ColoringResult:
     """Run the full coloring protocol on ``dep`` and return the result.
 
@@ -229,6 +255,18 @@ def run_coloring(
         per-slot Python cost only at slots where something happens.  The
         result is identical at any block size; the completion stop is
         still localized to the exact slot.
+    sparse:
+        Active-set sparse stepping (see
+        :class:`~repro.radio.engine.RadioSimulator`): per-slot work
+        scales with the number of nodes that can transmit instead of
+        ``n``.  Byte-identical to the dense run; requires a batched
+        ``node_cls``.
+    partitions:
+        When ``> 0``, spatial domain decomposition: a grid partition
+        with that many requested tiles scans and resolves each span
+        tile-by-tile (:mod:`repro.radio.partition`), on
+        ``partition_workers`` processes when ``> 1``.  Byte-identical at
+        any tile/worker count; pays off with ``block > 1``.
     """
     if dep.n == 0:
         raise ValueError("cannot color an empty deployment")
@@ -247,6 +285,9 @@ def run_coloring(
         unaligned=unaligned,
         offsets=offsets,
         channels=channels,
+        sparse=sparse,
+        partitions=partitions,
+        partition_workers=partition_workers,
     )
     if max_slots is None:
         wake_max = int(sim.wake_slots.max()) if dep.n else 0

@@ -56,14 +56,27 @@ from repro._util import RngStream
 
 __all__ = [
     "RunTelemetry",
+    "WorkerCrashError",
     "collect_telemetry",
     "default_workers",
     "resolve_seeds",
     "run_replicated_sweep",
     "run_sweep",
+    "run_tasks",
     "shared_build",
     "shared_build_stats",
 ]
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died while executing a :func:`run_tasks` task.
+
+    Raised instead of the pool's opaque :class:`~concurrent.futures.
+    BrokenExecutor` (or a silent retry): callers of :func:`run_tasks`
+    are *inside* a simulation step, where transparently re-running work
+    could hide a worker that dies deterministically — the partitioned
+    engine wants a named, diagnosable failure, not a hang or an
+    infinite crash-retry loop."""
 
 
 @dataclass(frozen=True)
@@ -225,6 +238,79 @@ def _can_dispatch(fn: Callable[[int], Any]) -> bool:
         return True
     except Exception:
         return False
+
+
+def run_tasks(
+    fn: Callable[..., Any],
+    tasks: Iterable[tuple[Any, ...]],
+    *,
+    workers: int | None = None,
+) -> list[Any]:
+    """Deterministic ordered map of ``fn(*task)`` over argument tuples.
+
+    The in-step work-distribution primitive (the partitioned engine
+    dispatches its per-tile span scans through this): results come back
+    in task order regardless of worker scheduling, so any worker count
+    yields the same list.  ``fn`` and every task must be picklable for
+    the pool to be used; ``workers=1`` (or an unpicklable ``fn``, or a
+    single task) runs in-process.
+
+    Failure semantics differ deliberately from :func:`run_sweep`: a
+    *crashed* worker (died process, broken pool) raises
+    :class:`WorkerCrashError` naming the failed task instead of being
+    silently retried — mid-simulation work must fail loudly, never
+    mask a deterministic worker death.  Exceptions raised by ``fn``
+    itself propagate unchanged (they would fail serially too).  A pool
+    that cannot *start* on the platform falls back to in-process
+    execution, as in :func:`run_sweep`.
+    """
+    task_list = [tuple(task) for task in tasks]
+    if workers is None:
+        workers = default_workers()
+    elif workers == 0:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(task_list) <= 1 or not _can_dispatch(fn):
+        return [fn(*task) for task in task_list]
+    pool = _task_pool(workers)
+    if pool is None:
+        # The pool itself could not start on this platform.
+        return [fn(*task) for task in task_list]
+    futures = [pool.submit(fn, *task) for task in task_list]
+    results: list[Any] = []
+    for i, future in enumerate(futures):
+        try:
+            results.append(future.result())
+        except (BrokenExecutor, OSError, pickle.PickleError) as exc:
+            for pending in futures:
+                pending.cancel()
+            _TASK_POOLS.pop(workers, None)
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise WorkerCrashError(
+                f"worker crashed executing task {i} of {len(task_list)} "
+                f"({getattr(fn, '__module__', '?')}."
+                f"{getattr(fn, '__qualname__', repr(fn))}): {exc!r}"
+            ) from exc
+    return results
+
+
+#: Persistent :func:`run_tasks` pools, one per worker count: span scans
+#: call in every few simulated milliseconds, so pool start-up cost (a
+#: process fork per worker) must be paid once per process, not per call.
+#: A crashed pool is evicted; the next call starts a fresh one.
+_TASK_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _task_pool(workers: int) -> ProcessPoolExecutor | None:
+    pool = _TASK_POOLS.get(workers)
+    if pool is None:
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, RuntimeError, NotImplementedError):
+            return None
+        _TASK_POOLS[workers] = pool
+    return pool
 
 
 def run_sweep(

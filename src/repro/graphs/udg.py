@@ -39,8 +39,11 @@ def udg_from_points(
     g.add_nodes_from(range(n))
     if n > 1:
         tree = cKDTree(pts)
-        for u, v in tree.query_pairs(r=radius):
-            g.add_edge(int(u), int(v))
+        # Bulk insertion, iterating the pair *set* (not the sorted
+        # ndarray): edge insertion order feeds the gray-zone sampling
+        # loop in quasi_udg via Graph.edges iteration, so changing it
+        # would silently re-roll every pinned quasi-UDG scenario.
+        g.add_edges_from(tree.query_pairs(r=radius))
     return Deployment(
         graph=g, positions=pts, kind=kind, meta={"radius": radius, **meta}
     )

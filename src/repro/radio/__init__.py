@@ -23,6 +23,8 @@ Modules
 - :mod:`repro.radio.channel` — the shared channel-resolution core and
   the pluggable PHY models (collision / multi-channel);
 - :mod:`repro.radio.engine` — the slot-stepped simulator;
+- :mod:`repro.radio.partition` — spatial domain decomposition (grid
+  tiles with halo-exact CSR sub-blocks) for the vectorized fast path;
 - :mod:`repro.radio.unaligned` — the non-aligned-slots variant;
 - :mod:`repro.radio.trace` — event recording and counters.
 """
@@ -34,6 +36,12 @@ from repro.radio.channel import (
     PhyModel,
 )
 from repro.radio.engine import RadioSimulator, SimulationResult
+from repro.radio.partition import (
+    GridPartition,
+    PartitionedCollisionPhy,
+    PartitionedMultiChannelPhy,
+    make_partitioned_phy,
+)
 from repro.radio.messages import (
     AssignMessage,
     ColorMessage,
@@ -51,8 +59,11 @@ __all__ = [
     "CollisionPhy",
     "ColorMessage",
     "CounterMessage",
+    "GridPartition",
     "Message",
     "MultiChannelPhy",
+    "PartitionedCollisionPhy",
+    "PartitionedMultiChannelPhy",
     "PhyModel",
     "ProtocolNode",
     "RadioSimulator",
@@ -60,5 +71,6 @@ __all__ = [
     "SimulationResult",
     "TraceEvent",
     "TraceRecorder",
+    "make_partitioned_phy",
     "message_bits",
 ]

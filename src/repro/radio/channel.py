@@ -269,6 +269,12 @@ class PhyModel(ABC):
     #: short identifier used in scenario labels and CLI flags.
     name = "phy"
 
+    # Bind-time state.  The attribute layout below is a subclass
+    # contract, not an implementation detail: the partitioned PHYs
+    # (:mod:`repro.radio.partition`) scatter into ``_recv_count`` /
+    # ``_incoming`` / ``_transmitting`` through per-tile CSR sub-blocks
+    # and must observe exactly the persistent-across-slots,
+    # reset-sparsely discipline :meth:`bind` establishes.
     sim: PhyHost
     _nodes: "Sequence[ProtocolNode]"
     _indptr: np.ndarray

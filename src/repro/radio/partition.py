@@ -1,0 +1,308 @@
+"""Spatial domain decomposition for the vectorized engine.
+
+The paper's protocol is purely local — nodes interact only within unit
+distance of the deployment — so geometrically distant regions of a large
+deployment evolve independently between the slots in which somebody
+actually transmits.  This module supplies the two pieces the engine's
+partitioned execution mode (:meth:`~repro.radio.engine.RadioSimulator.
+step_block` with ``partition=``) composes:
+
+- :class:`GridPartition` — tiles the deployment's positions into grid
+  cells of width >= 1 and derives, per tile, the *owned* node set, the
+  *halo* (every neighbor of an owned node that the tile does not own),
+  and a CSR sub-block restricted to owned columns, so each tile can
+  resolve its owned listeners from local data only;
+- :func:`scan_tile` — a pure, picklable span kernel: given the protocol
+  stream's state at a span start and one tile's active columns, it walks
+  a *clone* of the stream over the span's lattice of draw positions and
+  reports the tile's first firing slot.  Interior tiles scan on separate
+  workers (``partition_workers > 1`` dispatches through
+  :func:`repro.experiments.parallel.run_tasks`); the parent merges the
+  per-tile results deterministically (minimum fire slot, firing columns
+  in ascending node order) and advances the *real* generator by whole
+  rows only, so worker count can never change a byte of the run.
+
+Determinism contract (DESIGN.md §5.13):
+
+- **Geometry groups, the graph decides.**  Tile membership comes from
+  positions, but the halo is graph-theoretic: ``halo(tile) =
+  neighbors(owned(tile)) - owned(tile)``.  Every transmitter that can
+  touch an owned listener is therefore in ``owned + halo`` for *any*
+  graph — quasi-UDG links beyond unit range and torus wraparound
+  included — so partitioned channel resolution is exact, never an
+  approximation that happens to hold for unit disks.
+- **Speculative clones, authoritative parent.**  Tile scans draw from
+  clones positioned at the span-start state; the parent generator only
+  ever advances by ``rng.skip`` over finalized whole slots.  Clone draws
+  are discarded at every restart, so no path can over- or under-consume
+  the protocol stream.
+- **Deterministic halo merge.**  Owned sets partition the nodes, so
+  sorting the concatenated per-tile candidate rows by listener id
+  reproduces the unpartitioned PHY's canonical ascending delivery order
+  exactly; tiles are always iterated in ascending tile id when an order
+  is observable.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.graphs.deployment import Deployment
+from repro.radio.channel import (
+    Candidate,
+    CollisionPhy,
+    MultiChannelPhy,
+    PhyModel,
+    build_csr,
+)
+from repro.radio.messages import Message
+
+__all__ = [
+    "GridPartition",
+    "PartitionedCollisionPhy",
+    "PartitionedMultiChannelPhy",
+    "make_partitioned_phy",
+    "scan_tile",
+]
+
+
+class GridPartition:
+    """Grid tiling of a deployment with graph-exact halo rows.
+
+    Parameters
+    ----------
+    dep:
+        The deployment; tiles are cut from its ``positions`` and the
+        halos and CSR sub-blocks from its cached adjacency.
+    tiles:
+        Requested tile count.  The realized grid is at most
+        ``ceil(sqrt(tiles))`` cells per axis and never uses cells
+        narrower than 1 unit (the UDG interaction radius), so the actual
+        :attr:`tiles` may be smaller — down to 1 on deployments smaller
+        than 2 units across.
+    """
+
+    #: realized tile count (grid_x * grid_y)
+    tiles: int
+    #: per-node owning tile id, shape (n,)
+    tile_of: np.ndarray
+    #: per-tile owned node ids, ascending
+    owned: list[np.ndarray]
+    #: per-tile halo node ids (neighbors of owned, not owned), ascending
+    halo: list[np.ndarray]
+    #: per-tile CSR row keys: nodes with >= 1 owned neighbor, ascending
+    members: list[np.ndarray]
+    #: per-tile CSR row pointers over ``members``
+    sub_indptr: list[np.ndarray]
+    #: per-tile CSR columns: the row node's neighbors owned by the tile
+    sub_indices: list[np.ndarray]
+
+    def __init__(self, dep: Deployment, tiles: int) -> None:
+        if tiles < 1:
+            raise ValueError(f"tiles must be >= 1, got {tiles}")
+        n = dep.n
+        if n == 0:
+            raise ValueError("cannot partition an empty deployment")
+        pos = np.asarray(dep.positions, dtype=np.float64)
+        per_axis = max(1, int(np.ceil(np.sqrt(tiles))))
+        gx, wx, x0 = _axis_cells(pos[:, 0], per_axis)
+        gy, wy, y0 = _axis_cells(pos[:, 1], per_axis)
+        ix = np.clip(((pos[:, 0] - x0) / wx).astype(np.int64), 0, gx - 1)
+        iy = np.clip(((pos[:, 1] - y0) / wy).astype(np.int64), 0, gy - 1)
+        self.tiles = int(gx * gy)
+        self.tile_of = ix * gy + iy
+        indptr, indices = build_csr(dep)
+        # Edge list view of the CSR: src[k] is the row owning indices[k].
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        dst_tile = self.tile_of[indices]
+        self.owned = []
+        self.halo = []
+        self.members = []
+        self.sub_indptr = []
+        self.sub_indices = []
+        for tid in range(self.tiles):
+            owned = np.nonzero(self.tile_of == tid)[0]
+            # Rows of the sub-block: every node with an owned neighbor
+            # (adjacency is symmetric, so this is exactly the set of
+            # transmitters that can touch an owned listener).
+            mask = dst_tile == tid
+            rows = src[mask]  # ascending: CSR rows are scanned in order
+            cols = indices[mask]
+            members, counts = np.unique(rows, return_counts=True)
+            sub_indptr = np.zeros(members.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=sub_indptr[1:])
+            self.owned.append(owned)
+            self.halo.append(np.setdiff1d(members, owned, assume_unique=True))
+            self.members.append(members)
+            self.sub_indptr.append(sub_indptr)
+            self.sub_indices.append(cols)
+
+    def describe(self) -> str:
+        """One-line summary: tile count and owned/halo sizes."""
+        sizes = ", ".join(
+            f"{self.owned[t].size}+{self.halo[t].size}h" for t in range(self.tiles)
+        )
+        return f"grid partition: {self.tiles} tiles ({sizes})"
+
+
+def _axis_cells(coords: np.ndarray, per_axis: int) -> tuple[int, float, float]:
+    """Cell count, cell width (>= 1 whenever split), and origin for one
+    axis of the grid."""
+    lo = float(coords.min())
+    span = float(coords.max()) - lo
+    if span <= 0.0:
+        return 1, 1.0, lo
+    # Cells of width >= 1: never split finer than the interaction radius.
+    cells = max(1, min(per_axis, int(span)))
+    return cells, span / cells * (1.0 + 1e-12), lo
+
+
+def scan_tile(
+    state: dict[str, Any],
+    cols: list[tuple[int, float]],
+    count: int,
+    n: int,
+) -> tuple[int, list[int]] | None:
+    """Speculatively scan ``count`` slots of one tile's active columns.
+
+    ``state`` is the protocol stream's bit-generator state at the start
+    of the span (row-aligned: the next variate is slot offset 0, node 0);
+    ``cols`` holds the tile's active ``(node, probability)`` pairs in
+    ascending node order.  Returns ``(slot_offset, firing_nodes)`` for
+    the tile's first slot with at least one transmit draw below its
+    node's probability, or ``None`` if the tile stays silent for the
+    whole span.
+
+    Pure and picklable: the walk happens on a *clone* built from
+    ``state``; the parent generator is never touched, so this function
+    can run on any worker process — or several, for different tiles, at
+    once — without any path depending on where it ran.
+    """
+    bg = np.random.PCG64()  # repro: noqa RPR001 -- clone positioned from the parent stream's pickled state; consumes no independent entropy and is discarded after the scan
+    bg.state = state
+    rand = np.random.Generator(bg).random  # repro: noqa RPR001 -- wraps the positioned clone above; same speculative, discarded stream
+    advance = bg.advance
+    pos = 0  # absolute draw offset within the span
+    for s in range(count):
+        base = s * n
+        fire: list[int] = []
+        for a, pa in cols:
+            target = base + a
+            if target > pos:
+                advance(target - pos)
+            if rand() < pa:
+                fire.append(a)
+            pos = target + 1
+        if fire:
+            return s, fire
+    return None
+
+
+def _resolve_tiles(
+    phy: PhyModel,
+    part: GridPartition,
+    outbox: list[tuple[int, Message]],
+    chan: np.ndarray | None,
+) -> list[Candidate]:
+    """Tile-by-tile channel resolution with a deterministic halo merge.
+
+    Each tile scatters the transmissions of its CSR sub-block rows onto
+    its *owned* listeners only; because the halo construction is
+    graph-exact, every transmitting neighbor of an owned listener is a
+    sub-block row, so per-listener counts equal the unpartitioned PHY's.
+    Owned sets are disjoint, so sorting the concatenated per-tile rows
+    by listener reproduces the canonical ascending delivery order.
+    ``chan`` carries the slot's per-node channel vector for the
+    multichannel variant (``None`` on the single-channel PHY).
+    """
+    recv_count = phy._recv_count
+    incoming = phy._incoming
+    transmitting = phy._transmitting
+    nodes = phy._nodes
+    for v, _ in outbox:
+        transmitting[v] = True
+    candidates: list[Candidate] = []
+    for tid in range(part.tiles):
+        members = part.members[tid]
+        if members.size == 0:
+            continue
+        sub_indptr = part.sub_indptr[tid]
+        sub_indices = part.sub_indices[tid]
+        touched: list[int] = []
+        for v, msg in outbox:
+            r = int(np.searchsorted(members, v))
+            if r == members.size or members[r] != v:
+                continue  # no owned neighbor in this tile
+            cv = chan[v] if chan is not None else 0
+            for u in sub_indices[sub_indptr[r] : sub_indptr[r + 1]]:
+                if chan is not None and chan[u] != cv:
+                    continue  # cross-channel: invisible, not even noise
+                if recv_count[u] == 0:
+                    touched.append(u)
+                    incoming[u] = msg
+                recv_count[u] += 1
+        touched.sort()
+        for u in touched:
+            candidates.append(
+                (u, int(recv_count[u]), incoming[u],
+                 nodes[u].awake and not transmitting[u])
+            )
+            recv_count[u] = 0
+            incoming[u] = None
+    for v, _ in outbox:
+        transmitting[v] = False
+    # Deterministic halo merge: listeners are unique across tiles, so
+    # this is exactly the unpartitioned ascending candidate order.
+    candidates.sort(key=lambda c: c[0])
+    return candidates
+
+
+class PartitionedCollisionPhy(CollisionPhy):
+    """:class:`~repro.radio.channel.CollisionPhy` resolved tile-by-tile.
+
+    Byte-identical candidates to the unpartitioned PHY (the conform
+    PARTITION_MATRIX pins this); only the resolution *route* changes —
+    per-tile CSR sub-blocks and a final halo merge instead of one global
+    scatter.
+    """
+
+    def __init__(self, partition: GridPartition) -> None:
+        self.partition = partition
+
+    def resolve(
+        self, slot: int, outbox: list[tuple[int, Message]]
+    ) -> list[Candidate]:
+        """Tile-by-tile collision resolution with a final halo merge."""
+        return _resolve_tiles(self, self.partition, outbox, None)
+
+
+class PartitionedMultiChannelPhy(MultiChannelPhy):
+    """:class:`~repro.radio.channel.MultiChannelPhy` resolved tile-by-tile.
+
+    The hop side stream is inherited untouched (same spawn point at
+    ``bind``, same lazy one-``integers(n)``-per-fire-slot consumption),
+    so hop-stream metering matches the unpartitioned PHY exactly.
+    """
+
+    def __init__(self, channels: int, partition: GridPartition) -> None:
+        super().__init__(channels)
+        self.partition = partition
+
+    def resolve(
+        self, slot: int, outbox: list[tuple[int, Message]]
+    ) -> list[Candidate]:
+        """Tile-by-tile channel-filtered resolution with a halo merge."""
+        if not outbox:
+            return []
+        chan = self._slot_channels(slot)
+        return _resolve_tiles(self, self.partition, outbox, chan)
+
+
+def make_partitioned_phy(partition: GridPartition, channels: int = 1) -> PhyModel:
+    """The partition-aware PHY for a channel count (factory used by
+    :func:`repro.core.protocol.build_simulator`)."""
+    if channels > 1:
+        return PartitionedMultiChannelPhy(channels, partition)
+    return PartitionedCollisionPhy(partition)

@@ -85,7 +85,9 @@ class ReplicaBatchSimulator:
 
     Other keyword arguments mirror :func:`~repro.core.protocol.
     run_coloring` (``trace_level``, ``enforce_message_bits``,
-    ``loss_prob``, ``per_node_params``, ``channels``).
+    ``loss_prob``, ``per_node_params``, ``channels``, ``sparse`` —
+    with ``sparse=True`` every replica steps on the active-set sparse
+    path, still byte-identical to its solo run).
     """
 
     def __init__(
@@ -101,6 +103,7 @@ class ReplicaBatchSimulator:
         node_cls: type[ColoringNode] = BernoulliColoringNode,
         per_node_params: list[Parameters] | None = None,
         channels: int = 1,
+        sparse: bool = False,
     ) -> None:
         if len(seeds) == 0:
             raise ValueError("need at least one replica seed")
@@ -131,6 +134,7 @@ class ReplicaBatchSimulator:
                 node_cls=node_cls,
                 per_node_params=per_node_params,
                 channels=channels,
+                sparse=sparse,
             )
             assert isinstance(sim, RadioSimulator)
             if not sim.vectorized:
@@ -230,6 +234,7 @@ def run_replicated(
     per_node_params: list[Parameters] | None = None,
     channels: int = 1,
     block: int = 4096,
+    sparse: bool = False,
 ) -> list[ColoringResult]:
     """Run R replicas of one coloring scenario as a batch.
 
@@ -258,6 +263,7 @@ def run_replicated(
         node_cls=node_cls,
         per_node_params=per_node_params,
         channels=channels,
+        sparse=sparse,
     )
     if max_slots is None:
         wake_max = int(batch.sims[0].wake_slots.max()) if dep.n else 0

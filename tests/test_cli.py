@@ -91,9 +91,9 @@ class TestConform:
         rc = main(["conform", "--quick"])
         out = capsys.readouterr().out
         assert rc == 0, out
-        # 5 cells since the block-stepped lockstep cell joined the quick
-        # matrix (classic-vs-vectorized x4 + per-slot-vs-blocked x1).
-        assert "5/5 scenarios conform" in out
+        # 7 cells: classic-vs-vectorized x4, per-slot-vs-blocked x1,
+        # plus the sparse-stepping and partitioned-execution CI cells.
+        assert "7/7 scenarios conform" in out
 
     def test_injected_bug_exits_nonzero_with_report(self, capsys):
         rc = main(["conform", "--quick", "--inject-bug"])
