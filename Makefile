@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction harness.
 
-.PHONY: install test test-slow lint staticcheck typecheck bench bench-smoke bench-json bench-check conform full-bench report tour clean
+.PHONY: install test test-slow lint staticcheck typecheck bench bench-smoke bench-json bench-check conform arena full-bench report tour clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -39,6 +39,13 @@ typecheck:
 conform:
 	PYTHONPATH=src python -m repro conform --quick --fuzz 64 --budget 20
 
+# The protocol x PHY arena: the pinned lockstep cells behind every
+# pairing (repro conform --arena), then the E18 comparison table
+# (colors, time-to-completion, message cost per protocol x PHY).
+arena:
+	PYTHONPATH=src python -m repro conform --arena
+	PYTHONPATH=src python -m repro experiment e18
+
 bench:
 	pytest benchmarks/ --benchmark-only
 
@@ -76,7 +83,7 @@ bench-check:
 # Full-scale experiment sweeps (slow; writes benchmarks/results/full/).
 full-bench:
 	mkdir -p benchmarks/results/full
-	for e in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17; do \
+	for e in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 e17 e18; do \
 	  python -m repro experiment $$e --full --csv benchmarks/results/full/$$e.csv \
 	    > benchmarks/results/full/$$e.txt; \
 	done

@@ -51,6 +51,7 @@ EXPERIMENTS = {
     "e15": ("e15_incremental", "(ext.) incremental joins into a colored network"),
     "e16": ("e16_leader_failure", "(ext.) leader-failure blast radius (negative-space)"),
     "e17": ("e17_channels", "(ext.) what the single-channel assumption costs"),
+    "e18": ("e18_arena", "(ext.) protocol x PHY arena: colors, time, message cost"),
 }
 
 def _nonneg_int(text: str) -> int:
@@ -102,6 +103,24 @@ def _build_parser() -> argparse.ArgumentParser:
     color.add_argument(
         "--regime", choices=("practical", "theoretical"), default="practical",
         help="parameter regime",
+    )
+    color.add_argument(
+        "--protocol", default=None, metavar="NAME",
+        help="node-logic strategy (default mw05, the paper's protocol; "
+        "see --list-protocols)",
+    )
+    color.add_argument(
+        "--phy", default=None, metavar="NAME",
+        help="channel model (default: collision, or multichannel when "
+        "--channels > 1; see --list-phys)",
+    )
+    color.add_argument(
+        "--list-protocols", action="store_true",
+        help="list the registered protocol strategies and exit",
+    )
+    color.add_argument(
+        "--list-phys", action="store_true",
+        help="list the registered channel models and exit",
     )
     color.add_argument(
         "--block", type=int, default=1, metavar="B",
@@ -207,11 +226,21 @@ def _build_parser() -> argparse.ArgumentParser:
     conform.add_argument("--param-scale", type=float, default=1.0)
     conform.add_argument("--max-slots", type=int, default=None)
     conform.add_argument(
-        "--phy", choices=("collision", "multichannel", "unaligned"),
+        "--phy", choices=("collision", "multichannel", "sinr", "unaligned"),
         default="collision",
         help="channel model under comparison: the default collision PHY, "
-        "a multi-channel PHY on both engine paths, or the unaligned "
-        "simulator against the aligned engine",
+        "a multi-channel or SINR PHY on both engine paths, or the "
+        "unaligned simulator against the aligned engine",
+    )
+    conform.add_argument(
+        "--protocol", choices=("mw05", "mis"), default="mw05",
+        help="node-logic strategy under comparison (the lockstep "
+        "completion condition generalizes through it)",
+    )
+    conform.add_argument(
+        "--arena", action="store_true",
+        help="without --family: run the pinned protocol x PHY "
+        "ARENA_MATRIX instead of the full matrix",
     )
     conform.add_argument(
         "--channels", type=int, default=1, metavar="K",
@@ -256,12 +285,54 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _list_registries(protocols: bool, phys: bool) -> int:
+    """The ``--list-protocols`` / ``--list-phys`` listings."""
+    from repro.core.strategy import PROTOCOLS
+    from repro.radio.channel import phy_names
+
+    if protocols:
+        print("protocols:")
+        for name, cls in PROTOCOLS.items():
+            print(f"  {name:<13} {cls().description}")
+    if phys:
+        descriptions = {
+            "collision": "the paper's collision model (exactly-one-neighbor)",
+            "multichannel": "K-channel hopping (only same-channel tx interact)",
+            "sinr": "physical interference: per-receiver SINR over geometry",
+        }
+        print("phys:")
+        for name in phy_names():
+            print(f"  {name:<13} {descriptions.get(name, '')}")
+    return 0
+
+
+def _mis_verdict(dep, result) -> int:
+    """Leader-set verdict for ``--protocol mis`` runs (the coloring
+    verifier would flag the deliberately-UNDECIDED non-leaders)."""
+    from repro.analysis import check_leader_set
+
+    problems = check_leader_set(dep, result.colors, require_maximal=False)
+    if result.completed:
+        # Coverage/maximality: every non-leader must see a leader.
+        leader = result.colors == 0
+        for v in range(dep.n):
+            if not leader[v] and not any(leader[u] for u in dep.neighbors[v]):
+                problems.append(f"non-leader {v} has no leader neighbor")
+    for problem in problems:
+        print(f"  PROBLEM: {problem}")
+    verdict = "OK" if not problems else "VIOLATIONS FOUND"
+    print(f"leader-set verification: {verdict}")
+    return 0 if not problems else 1
+
+
 def _cmd_color(args) -> int:
     from repro.core import Parameters, run_coloring
     from repro.analysis import verify_run
     from repro.graphs import random_udg
     from repro.wakeup import ALL_SCHEDULES
 
+    if args.list_protocols or args.list_phys:
+        return _list_registries(args.list_protocols, args.list_phys)
     dep = random_udg(args.n, expected_degree=args.degree, seed=args.seed)
     print(f"deployment: {dep.describe()}")
     if args.block < 1:
@@ -288,20 +359,31 @@ def _cmd_color(args) -> int:
         scale_kwargs["scale"] = float(args.channels)
     params = Parameters.for_deployment(dep, regime=args.regime, **scale_kwargs)
     wake = ALL_SCHEDULES[args.schedule](dep, seed=args.seed + 1)
-    result = run_coloring(
-        dep,
-        params=params,
-        wake_slots=wake,
-        seed=args.seed + 2,
-        loss_prob=args.loss,
-        unaligned=args.unaligned,
-        channels=args.channels,
-        **run_kwargs,
-    )
+    try:
+        result = run_coloring(
+            dep,
+            params=params,
+            wake_slots=wake,
+            seed=args.seed + 2,
+            loss_prob=args.loss,
+            unaligned=args.unaligned,
+            channels=args.channels,
+            protocol=args.protocol,
+            phy=args.phy,
+            **run_kwargs,
+        )
+    except ValueError as exc:
+        # Registry misses (unknown --protocol / --phy) and invalid
+        # combinations surface as ValueError naming the known choices.
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"protocol: {result.protocol}")
     for k, v in result.summary().items():
         print(f"  {k}: {v}")
     if args.metrics:
         print(_render_metrics(result.trace.channel_metrics))
+    if result.protocol == "mis":
+        return _mis_verdict(dep, result)
     report = verify_run(result)
     print(report.describe())
     return 0 if report.ok else 1
@@ -329,6 +411,7 @@ def _cmd_conform(args) -> int:
         SCENARIO_MATRIX,
         OffByOneCounterNode,
         Scenario,
+        arena_matrix,
         block_matrix,
         fuzz,
         partition_matrix,
@@ -358,6 +441,7 @@ def _cmd_conform(args) -> int:
             replicas=args.replicas,
             sparse=args.sparse,
             partitions=args.partitions,
+            protocol=args.protocol,
         )
         reports = [
             run_scenario(
@@ -365,14 +449,16 @@ def _cmd_conform(args) -> int:
             )
         ]
     else:
-        if args.sparse or args.partitions:
-            # Focused pinned matrices for the sparse / partitioned fast
-            # paths (both flags compose into the concatenation).
+        if args.sparse or args.partitions or args.arena:
+            # Focused pinned matrices for the sparse / partitioned /
+            # arena paths (the flags compose into the concatenation).
             matrix = ()
             if args.sparse:
                 matrix = matrix + sparse_matrix()
             if args.partitions:
                 matrix = matrix + partition_matrix()
+            if args.arena:
+                matrix = matrix + arena_matrix()
         elif args.quick:
             matrix = quick_matrix()
         elif broken is not None:
@@ -387,6 +473,7 @@ def _cmd_conform(args) -> int:
                 + replica_matrix()
                 + sparse_matrix()
                 + partition_matrix()
+                + arena_matrix()
             )
         if broken is not None:
             # The broken class must reach run_lockstep, so run serially.

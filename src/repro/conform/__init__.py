@@ -35,6 +35,7 @@ from repro.conform.lockstep import (
 )
 from repro.conform.runner import FuzzResult, fuzz, run_matrix, run_scenario
 from repro.conform.scenarios import (
+    ARENA_MATRIX,
     BLOCK_MATRIX,
     FAMILIES,
     PARTITION_MATRIX,
@@ -45,6 +46,7 @@ from repro.conform.scenarios import (
     SCHEDULES,
     SPARSE_MATRIX,
     Scenario,
+    arena_matrix,
     block_matrix,
     partition_matrix,
     phy_matrix,
@@ -55,6 +57,7 @@ from repro.conform.scenarios import (
 )
 
 __all__ = [
+    "ARENA_MATRIX",
     "BLOCK_MATRIX",
     "FAMILIES",
     "PARTITION_MATRIX",
@@ -74,6 +77,7 @@ __all__ = [
     "SlotUniformSource",
     "SourcedBeaconNode",
     "StepShimNode",
+    "arena_matrix",
     "block_matrix",
     "build_lockstep",
     "fuzz",

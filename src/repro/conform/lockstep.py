@@ -42,6 +42,7 @@ from repro.conform.divergence import ConformanceReport, Divergence, localize_slo
 from repro.conform.scenarios import Scenario
 from repro.core.params import Parameters, suggested_max_slots
 from repro.core.protocol import ColoringResult, run_coloring
+from repro.core.strategy import ColoringProtocol, resolve_protocol
 from repro.core.vector_node import BernoulliColoringNode
 from repro.graphs.deployment import Deployment
 from repro.radio.channel import PhyModel
@@ -259,6 +260,7 @@ def run_lockstep(
     vectorized_node_cls: type | None = None,
     scenario: Scenario | None = None,
     phy_factory: Callable[[], PhyModel] | None = None,
+    protocol: ColoringProtocol | str | None = None,
 ) -> ConformanceReport:
     """Step both paths in lockstep and localize the first divergence.
 
@@ -267,7 +269,14 @@ def run_lockstep(
     metrics are compared in canonical form.  On the first mismatch the
     loop stops and the report carries a :class:`Divergence` naming the
     slot, node, and field, with the scenario as minimized reproducer.
+
+    ``protocol`` generalizes the completion condition: each side is
+    declared finished by the strategy's
+    :meth:`~repro.core.strategy.ColoringProtocol.completed` over *its
+    own* trace and (inner) node list, and a one-sided finish is itself
+    reported as a ``completed`` divergence.
     """
+    proto = resolve_protocol(protocol)
     pair = build_lockstep(
         dep,
         params,
@@ -283,7 +292,6 @@ def run_lockstep(
         max_slots = suggested_max_slots(params, wake_max)
     sim_a, sim_b = pair.classic, pair.vectorized
     ta, tb = sim_a.trace, sim_b.trace
-    n = dep.n
     ia = ib = 0  # consumed prefixes of the two event lists
     divergence: Divergence | None = None
     while sim_a.slot < max_slots:
@@ -305,21 +313,27 @@ def run_lockstep(
                     break
         if divergence is not None:
             break
-        if ta.decided >= n and tb.decided >= n:
+        if proto.completed(ta, pair.classic_nodes) and proto.completed(
+            tb, pair.vectorized_nodes
+        ):
             break
     if divergence is None:
-        if (ta.decided >= n) != (tb.decided >= n):
+        done_a = proto.completed(ta, pair.classic_nodes)
+        done_b = proto.completed(tb, pair.vectorized_nodes)
+        if done_a != done_b:
             divergence = Divergence(
                 sim_a.slot,
                 None,
                 "completed",
-                ta.decided >= n,
-                tb.decided >= n,
+                done_a,
+                done_b,
                 scenario,
             )
     if divergence is None:
         divergence = _final_divergence(pair, scenario)
-    completed = ta.decided >= n and tb.decided >= n
+    completed = proto.completed(ta, pair.classic_nodes) and proto.completed(
+        tb, pair.vectorized_nodes
+    )
     return ConformanceReport(
         scenario=scenario,
         ok=divergence is None,
@@ -347,6 +361,8 @@ def run_block_lockstep(
     partitions: int = 0,
     partition_workers: int = 1,
     channels: int = 1,
+    protocol: ColoringProtocol | str | None = None,
+    phy_name: str | None = None,
 ) -> ConformanceReport:
     """Lockstep the vectorized per-slot path against its block-stepped mode.
 
@@ -375,10 +391,15 @@ def run_block_lockstep(
     wholesale, draw counters included.  Under partitioned execution a
     divergence additionally reports the diverging node's tile.
     ``channels`` must name the channel count when ``phy_factory`` builds
-    a multi-channel PHY, so the partitioned side hops identically.
+    a multi-channel PHY, so the partitioned side hops identically;
+    ``phy_name`` likewise names a non-default PHY (e.g. ``"sinr"``) so
+    the partitioned side builds its partition-aware variant.
+    ``protocol`` generalizes the completion condition exactly as in
+    :func:`run_lockstep`.
     """
     if block < 1:
         raise ValueError(f"block must be >= 1, got {block}")
+    proto = resolve_protocol(protocol)
     n = dep.n
     partition = None
     if partitions:
@@ -397,7 +418,7 @@ def run_block_lockstep(
     def build(nodes, trace, accelerated: bool) -> RadioSimulator:
         phy: PhyModel | None
         if accelerated and partition is not None:
-            phy = make_partitioned_phy(partition, channels)
+            phy = make_partitioned_phy(partition, channels, name=phy_name)
         else:
             phy = phy_factory() if phy_factory is not None else None
         return RadioSimulator(
@@ -456,7 +477,11 @@ def run_block_lockstep(
                         break
                 if divergence is not None:
                     break
-        if divergence is None and trace_a.decided >= n and trace_b.decided >= n:
+        if (
+            divergence is None
+            and proto.completed(trace_a, nodes_a)
+            and proto.completed(trace_b, nodes_b)
+        ):
             break
     if divergence is None:
         pair = LockstepPair(sim_a, sim_b, nodes_a, nodes_b)
@@ -465,7 +490,9 @@ def run_block_lockstep(
         divergence = replace(
             divergence, tile=int(partition.tile_of[divergence.node])
         )
-    completed = trace_a.decided >= n and trace_b.decided >= n
+    completed = proto.completed(trace_a, nodes_a) and proto.completed(
+        trace_b, nodes_b
+    )
     return ConformanceReport(
         scenario=scenario,
         ok=divergence is None,
@@ -547,6 +574,8 @@ def run_replica_lockstep(
     node_cls: type = BernoulliColoringNode,
     block: int = 4096,
     scenario: Scenario | None = None,
+    protocol: ColoringProtocol | str | None = None,
+    phy: str | None = None,
 ) -> ConformanceReport:
     """Lockstep one replica batch against its per-replica solo runs.
 
@@ -582,6 +611,8 @@ def run_replica_lockstep(
             loss_prob=loss_prob,
             node_cls=node_cls,
             channels=channels,
+            protocol=protocol,
+            phy=phy,
         )
         for s in seeds
     ]
@@ -596,6 +627,8 @@ def run_replica_lockstep(
         node_cls=node_cls,
         channels=channels,
         block=block,
+        protocol=protocol,
+        phy=phy,
     )
     divergence: Divergence | None = None
     for r, (solo, batch) in enumerate(zip(solos, batched)):

@@ -39,11 +39,14 @@ def run_scenario(
 ) -> ConformanceReport:
     """Build the scenario's world and run the lockstep comparison.
 
-    Dispatches on ``scenario.phy``: ``collision`` and ``multichannel``
-    lockstep the engine's classic and vectorized paths (the latter on a
-    :class:`~repro.radio.channel.MultiChannelPhy`); ``unaligned``
-    locksteps the aligned classic engine against the zero-offset
-    unaligned simulator on a scripted beacon population.  With
+    Dispatches on ``scenario.phy``: ``collision``, ``multichannel``, and
+    ``sinr`` lockstep the engine's classic and vectorized paths (on a
+    :class:`~repro.radio.channel.MultiChannelPhy` /
+    :class:`~repro.radio.channel.SinrPhy` for the latter two);
+    ``unaligned`` locksteps the aligned classic engine against the
+    zero-offset unaligned simulator on a scripted beacon population.
+    ``scenario.protocol`` picks the node-logic strategy (the lockstep
+    completion condition generalizes through it).  With
     ``scenario.block > 0`` the comparison is instead the vectorized
     path's per-slot stepping against its block-stepped mode
     (:func:`~repro.conform.lockstep.run_block_lockstep`), with
@@ -74,6 +77,10 @@ def run_scenario(
 
             wake_max = int(wake_slots.max()) if dep.n else 0
             max_slots = suggested_max_slots(params, wake_max) * scenario.channels
+    elif scenario.phy == "sinr":
+        from repro.radio.channel import SinrPhy
+
+        phy_factory = SinrPhy
     if scenario.replicas:
         return run_replica_lockstep(
             dep,
@@ -84,6 +91,8 @@ def run_scenario(
             channels=scenario.channels,
             max_slots=max_slots,
             scenario=scenario,
+            protocol=scenario.protocol,
+            phy=scenario.phy if scenario.phy != "collision" else None,
         )
     if scenario.block:
         return run_block_lockstep(
@@ -99,6 +108,8 @@ def run_scenario(
             sparse=scenario.sparse,
             partitions=scenario.partitions,
             channels=scenario.channels,
+            protocol=scenario.protocol,
+            phy_name=scenario.phy if scenario.phy != "collision" else None,
         )
     return run_lockstep(
         dep,
@@ -110,6 +121,7 @@ def run_scenario(
         vectorized_node_cls=vectorized_node_cls,
         scenario=scenario,
         phy_factory=phy_factory,
+        protocol=scenario.protocol,
     )
 
 

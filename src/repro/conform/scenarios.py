@@ -25,11 +25,13 @@ import numpy as np
 
 from repro._util import spawn_generator
 from repro.core.params import Parameters
+from repro.core.strategy import protocol_names
 from repro.graphs import doubling_grid_ubg, quasi_udg, random_udg, torus_udg
 from repro.graphs.deployment import Deployment
 from repro.wakeup import sequential, staggered_neighbors, synchronous, uniform_random
 
 __all__ = [
+    "ARENA_MATRIX",
     "BLOCK_MATRIX",
     "FAMILIES",
     "PARTITION_MATRIX",
@@ -40,6 +42,7 @@ __all__ = [
     "SCHEDULES",
     "SPARSE_MATRIX",
     "Scenario",
+    "arena_matrix",
     "block_matrix",
     "partition_matrix",
     "phy_matrix",
@@ -58,10 +61,11 @@ SCHEDULES = ("sync", "random", "staggered")
 
 #: conformance paths: ``collision`` locksteps the engine's classic and
 #: vectorized paths on the default PHY; ``multichannel`` does the same on
-#: a :class:`~repro.radio.channel.MultiChannelPhy`; ``unaligned``
+#: a :class:`~repro.radio.channel.MultiChannelPhy`; ``sinr`` on the
+#: geometry-aware :class:`~repro.radio.channel.SinrPhy`; ``unaligned``
 #: locksteps the aligned classic engine against the zero-offset unaligned
 #: simulator on a scripted no-feedback population.
-PHYS = ("collision", "multichannel", "unaligned")
+PHYS = ("collision", "multichannel", "sinr", "unaligned")
 
 
 @dataclass(frozen=True)
@@ -98,6 +102,11 @@ class Scenario:
     #: of a block-lockstep cell (0 = unpartitioned; requires
     #: ``block >= 1``).  Divergences report the diverging node's tile.
     partitions: int = 0
+    #: node-logic strategy (a :mod:`repro.core.strategy` registry name);
+    #: ``mw05`` is the paper's protocol, and the lockstep comparisons —
+    #: classic vs vectorized, block, sparse, partition, replica — all
+    #: generalize over it through the protocol's completion predicate.
+    protocol: str = "mw05"
 
     def __post_init__(self) -> None:
         if self.family not in FAMILIES:
@@ -147,6 +156,16 @@ class Scenario:
                 "partition cells lockstep the dense per-slot path against "
                 "partitioned execution via the block lockstep; set "
                 "block >= 1"
+            )
+        if self.protocol not in protocol_names():
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; pick from "
+                f"{protocol_names()}"
+            )
+        if self.protocol != "mw05" and self.phy == "unaligned":
+            raise ValueError(
+                "the unaligned lockstep drives a scripted mw05 population; "
+                "non-default protocols run on the aligned engine only"
             )
 
     # ------------------------------------------------------------------
@@ -216,6 +235,8 @@ class Scenario:
             base += " sparse"
         if self.partitions:
             base += f" tiles={self.partitions}"
+        if self.protocol != "mw05":
+            base += f" protocol={self.protocol}"
         return base
 
     def cli_args(self) -> str:
@@ -237,6 +258,8 @@ class Scenario:
             base += " --sparse"
         if self.partitions:
             base += f" --partitions {self.partitions}"
+        if self.protocol != "mw05":
+            base += f" --protocol {self.protocol}"
         return base
 
 
@@ -460,6 +483,50 @@ def replica_matrix() -> tuple[Scenario, ...]:
     return REPLICA_MATRIX
 
 
+def _arena_matrix() -> tuple[Scenario, ...]:
+    """Pinned protocol x PHY arena cells.
+
+    One lockstep cell per *new* pairing the strategy layer unlocks —
+    ``mw05`` over the SINR PHY, and the ``mis`` protocol over every
+    aligned PHY (collision, multichannel, SINR) — plus a blocked and a
+    replica ``mis`` cell so the non-default completion predicate is
+    exercised on the span-stepped and batched paths too (state-scan
+    predicates only change value at processed slots, which the block
+    lockstep verifies slot by slot).  The ``mw05`` x collision /
+    multichannel pairings are pinned by :data:`SCENARIO_MATRIX` and
+    :data:`PHY_MATRIX`; together the three walls back every cell of the
+    E18 arena table.
+    """
+    return (
+        Scenario(family="udg", n=18, degree=5.0, schedule="sync",
+                 seed=9000, phy="sinr"),
+        Scenario(family="torus", n=20, degree=6.0, schedule="random",
+                 loss_prob=0.1, seed=9001, phy="sinr"),
+        Scenario(family="udg", n=18, degree=5.0, schedule="sync",
+                 seed=9100, protocol="mis"),
+        Scenario(family="udg", n=18, degree=5.0, schedule="random",
+                 loss_prob=0.1, seed=9101, protocol="mis",
+                 phy="multichannel", channels=2, param_scale=2.0),
+        Scenario(family="torus", n=20, degree=6.0, schedule="random",
+                 seed=9110, protocol="mis", phy="sinr"),
+        Scenario(family="udg", n=20, degree=5.0, schedule="staggered",
+                 seed=9120, protocol="mis", block=64),
+        Scenario(family="udg", n=20, degree=5.0, schedule="random",
+                 seed=9130, protocol="mis", replicas=4),
+    )
+
+
+#: the pinned arena matrix (new protocol x PHY pairings: mw05 x sinr and
+#: mis x {collision, multichannel, sinr}, plus blocked/replica mis cells).
+ARENA_MATRIX: tuple[Scenario, ...] = _arena_matrix()
+
+
+def arena_matrix() -> tuple[Scenario, ...]:
+    """The pinned protocol x PHY arena scenarios (see
+    :data:`ARENA_MATRIX`)."""
+    return ARENA_MATRIX
+
+
 def quick_matrix() -> tuple[Scenario, ...]:
     """A fast diagonal through the matrix: one scenario per family,
     rotating schedules, alternating loss — the ``--quick`` / tier-1
@@ -515,6 +582,29 @@ def quick_matrix() -> tuple[Scenario, ...]:
             seed=506,
             block=64,
             partitions=4,
+        )
+    )
+    # One SINR-PHY and one mis-protocol cell so `repro conform` smokes
+    # the arena pairings by default (full coverage lives in
+    # ARENA_MATRIX).
+    out.append(
+        Scenario(
+            family="udg",
+            n=16,
+            degree=5.0,
+            schedule="sync",
+            seed=507,
+            phy="sinr",
+        )
+    )
+    out.append(
+        Scenario(
+            family="udg",
+            n=16,
+            degree=5.0,
+            schedule="random",
+            seed=508,
+            protocol="mis",
         )
     )
     return tuple(out)

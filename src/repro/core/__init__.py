@@ -4,6 +4,8 @@
   sets, theoretical and practical regimes, and the Theorem 3 time bound;
 - :mod:`repro.core.states` — the Fig. 2 state machine labels;
 - :mod:`repro.core.node` — Algorithms 1-3 as a protocol node;
+- :mod:`repro.core.strategy` — pluggable protocol strategies
+  (``mw05``, ``mis``) over one engine;
 - :mod:`repro.core.protocol` — orchestration and results.
 """
 
@@ -12,19 +14,35 @@ from repro.core.node import UNDECIDED, ColoringNode
 from repro.core.params import Parameters, paper_time_bound, suggested_max_slots
 from repro.core.protocol import ColoringResult, build_simulator, run_coloring
 from repro.core.states import NodeState, Phase
+from repro.core.strategy import (
+    PROTOCOLS,
+    ColoringProtocol,
+    MisProtocol,
+    Mw05Protocol,
+    make_protocol,
+    protocol_names,
+    resolve_protocol,
+)
 from repro.core.vector_node import BernoulliColoringNode
 
 __all__ = [
+    "PROTOCOLS",
     "UNDECIDED",
     "BernoulliColoringNode",
     "ColoringNode",
+    "ColoringProtocol",
     "ColoringResult",
+    "MisProtocol",
     "MisResult",
+    "Mw05Protocol",
     "NodeState",
     "Parameters",
     "Phase",
     "build_simulator",
+    "make_protocol",
     "paper_time_bound",
+    "protocol_names",
+    "resolve_protocol",
     "run_coloring",
     "run_mis",
     "suggested_max_slots",

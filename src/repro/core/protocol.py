@@ -24,7 +24,9 @@ import numpy as np
 
 from repro.core.node import UNDECIDED, ColoringNode
 from repro.core.params import Parameters, suggested_max_slots
+from repro.core.strategy import ColoringProtocol, resolve_protocol
 from repro.graphs.deployment import Deployment
+from repro.radio.channel import PhyModel
 from repro.radio.engine import RadioSimulator
 from repro.radio.trace import TraceRecorder
 from repro._util import spawn_generator
@@ -44,6 +46,8 @@ class ColoringResult:
     completed: bool  #: every node decided before the slot cap
     trace: TraceRecorder
     nodes: list[ColoringNode] = field(repr=False, default_factory=list)
+    #: name of the protocol strategy that produced this result.
+    protocol: str = "mw05"
 
     @property
     def proper(self) -> bool:
@@ -103,7 +107,7 @@ def build_simulator(
     trace_level: int = 1,
     enforce_message_bits: bool = False,
     loss_prob: float = 0.0,
-    node_cls: type[ColoringNode] = ColoringNode,
+    node_cls: type[ColoringNode] | None = None,
     per_node_params: list[Parameters] | None = None,
     unaligned: bool = False,
     offsets: np.ndarray | None = None,
@@ -111,8 +115,10 @@ def build_simulator(
     sparse: bool = False,
     partitions: int = 0,
     partition_workers: int = 1,
+    protocol: ColoringProtocol | str | None = None,
+    phy: PhyModel | str | None = None,
 ) -> tuple[RadioSimulator, list[ColoringNode]]:
-    """Construct (but do not run) a simulator wired with coloring nodes.
+    """Construct (but do not run) a simulator wired with protocol nodes.
 
     Exposed separately so tests and experiments can step manually or
     inject observers between slots.  ``sparse`` enables active-set
@@ -122,7 +128,21 @@ def build_simulator(
     (``partition_workers`` processes).  Both require the vectorized fast
     path (a batched ``node_cls``) and are byte-identical to the dense
     engine — see DESIGN.md §5.13.
+
+    ``protocol`` selects the node-logic strategy (a
+    :class:`~repro.core.strategy.ColoringProtocol`, a registry name, or
+    ``None`` for the paper's ``mw05``); it supplies the default
+    ``node_cls`` when none is given.  ``phy`` selects the channel model
+    by instance or registry name (``None`` keeps the historical
+    selection: multichannel when ``channels > 1``, else collision), and
+    composes with ``partitions`` through the partition-aware variants.
     """
+    proto = resolve_protocol(protocol)
+    if node_cls is None:
+        # Sparse stepping and partitioned execution only run on the
+        # vectorized fast path, so the protocol's batched node class is
+        # the only sensible default there.
+        node_cls = proto.node_cls(vectorized=bool(sparse or partitions))
     trace = TraceRecorder(dep.n, level=trace_level)
     if per_node_params is not None and len(per_node_params) != dep.n:
         raise ValueError("per_node_params must have one entry per node")
@@ -139,6 +159,10 @@ def build_simulator(
         max_bits = int(16 * np.log2(max(dep.n, 4)) + 64)
     if channels < 1:
         raise ValueError(f"channels must be >= 1, got {channels}")
+    if channels > 1 and isinstance(phy, str) and phy != "multichannel":
+        raise ValueError(
+            f"channels={channels} requires the 'multichannel' phy, got {phy!r}"
+        )
     if unaligned:
         from repro.radio.unaligned import UnalignedRadioSimulator
 
@@ -152,6 +176,11 @@ def build_simulator(
                 "sparse/partitioned execution is not implemented on the "
                 "unaligned engine"
             )
+        if phy is not None:
+            raise ValueError(
+                "the unaligned engine has its own slot-fraction resolution "
+                "and does not accept a phy"
+            )
         sim = UnalignedRadioSimulator(
             dep,
             nodes,
@@ -163,17 +192,26 @@ def build_simulator(
             offsets=offsets,
         )
     else:
-        phy = None
+        phy_model = None
         partition = None
         if partitions:
             from repro.radio.partition import GridPartition, make_partitioned_phy
 
+            if phy is not None and not isinstance(phy, str):
+                raise ValueError(
+                    "partitions= builds the partition-aware PHY internally; "
+                    "pass the phy by name, not as an instance"
+                )
             partition = GridPartition(dep, partitions)
-            phy = make_partitioned_phy(partition, channels)
+            phy_model = make_partitioned_phy(partition, channels, name=phy)
+        elif phy is not None:
+            from repro.radio.channel import make_phy
+
+            phy_model = phy if not isinstance(phy, str) else make_phy(phy, channels)
         elif channels > 1:
             from repro.radio.channel import MultiChannelPhy
 
-            phy = MultiChannelPhy(channels)
+            phy_model = MultiChannelPhy(channels)
         sim = RadioSimulator(
             dep,
             nodes,
@@ -182,7 +220,7 @@ def build_simulator(
             trace=trace,
             max_message_bits=max_bits,
             loss_prob=loss_prob,
-            phy=phy,
+            phy=phy_model,
             sparse=sparse,
             partition=partition,
             partition_workers=partition_workers,
@@ -200,7 +238,7 @@ def run_coloring(
     trace_level: int = 1,
     enforce_message_bits: bool = False,
     loss_prob: float = 0.0,
-    node_cls: type[ColoringNode] = ColoringNode,
+    node_cls: type[ColoringNode] | None = None,
     per_node_params: list[Parameters] | None = None,
     unaligned: bool = False,
     offsets: np.ndarray | None = None,
@@ -209,6 +247,8 @@ def run_coloring(
     sparse: bool = False,
     partitions: int = 0,
     partition_workers: int = 1,
+    protocol: ColoringProtocol | str | None = None,
+    phy: PhyModel | str | None = None,
 ) -> ColoringResult:
     """Run the full coloring protocol on ``dep`` and return the result.
 
@@ -267,11 +307,22 @@ def run_coloring(
         tile-by-tile (:mod:`repro.radio.partition`), on
         ``partition_workers`` processes when ``> 1``.  Byte-identical at
         any tile/worker count; pays off with ``block > 1``.
+    protocol:
+        Node-logic strategy (a
+        :class:`~repro.core.strategy.ColoringProtocol` instance, a
+        registry name such as ``"mis"``, or ``None`` for the paper's
+        ``mw05``).  Supplies the node class (when ``node_cls`` is not
+        given), the completion predicate, and result finalization.
+    phy:
+        Channel model by instance or registry name (``"collision"``,
+        ``"multichannel"``, ``"sinr"``); ``None`` keeps the historical
+        selection from ``channels``.
     """
     if dep.n == 0:
         raise ValueError("cannot color an empty deployment")
     if params is None:
         params = Parameters.for_deployment(dep)
+    proto = resolve_protocol(protocol)
     sim, nodes = build_simulator(
         dep,
         params,
@@ -288,6 +339,8 @@ def run_coloring(
         sparse=sparse,
         partitions=partitions,
         partition_workers=partition_workers,
+        protocol=proto,
+        phy=phy,
     )
     if max_slots is None:
         wake_max = int(sim.wake_slots.max()) if dep.n else 0
@@ -295,28 +348,29 @@ def run_coloring(
         # the slot budget scales with the channel count.
         max_slots = suggested_max_slots(params, wake_max) * max(1, channels)
 
-    # The decided counter makes the completion predicate O(1), so it is
-    # checked every slot: the run stops at — and reports — the *exact*
-    # completion slot instead of overshooting to the next periodic check
-    # (which inflated time curves and tx/energy counts by up to 15 slots).
-    trace, n = sim.trace, dep.n
+    # The protocol's completion predicate is a pure function of trace /
+    # node state (for mw05, the O(1) decided counter), checked every
+    # ``proto.check_every`` slots — ``1`` by default, so the run stops at
+    # and reports the *exact* completion slot instead of overshooting to
+    # the next periodic check (which inflated time curves and tx/energy
+    # counts by up to 15 slots).
+    trace = sim.trace
     res = sim.run(
-        max_slots, stop_when=lambda s: trace.decided >= n, check_every=1, block=block
+        max_slots,
+        stop_when=lambda s: proto.completed(trace, nodes),
+        check_every=proto.check_every,
+        block=block,
     )
 
-    colors = np.array(
-        [node.color for node in nodes], dtype=np.int64
-    )
-    tcs = np.array(
-        [UNDECIDED if node.tc is None else node.tc for node in nodes], dtype=np.int64
-    )
+    colors, tcs, completed = proto.finalize(nodes)
     return ColoringResult(
         deployment=dep,
         params=params,
         colors=colors,
         tcs=tcs,
         slots=res.slots,
-        completed=bool((colors != UNDECIDED).all()),
+        completed=completed,
         trace=sim.trace,
         nodes=nodes,
+        protocol=proto.name,
     )

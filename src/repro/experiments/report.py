@@ -36,6 +36,7 @@ EXPERIMENT_ORDER = [
     "e15_incremental",
     "e16_leader_failure",
     "e17_channels",
+    "e18_arena",
 ]
 
 

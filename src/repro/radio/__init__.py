@@ -21,7 +21,7 @@ Modules
 - :mod:`repro.radio.messages` — the four message types of Sect. 4;
 - :mod:`repro.radio.node` — the protocol-node interface;
 - :mod:`repro.radio.channel` — the shared channel-resolution core and
-  the pluggable PHY models (collision / multi-channel);
+  the pluggable PHY models (collision / multi-channel / SINR);
 - :mod:`repro.radio.engine` — the slot-stepped simulator;
 - :mod:`repro.radio.partition` — spatial domain decomposition (grid
   tiles with halo-exact CSR sub-blocks) for the vectorized fast path;
@@ -34,12 +34,16 @@ from repro.radio.channel import (
     CollisionPhy,
     MultiChannelPhy,
     PhyModel,
+    SinrPhy,
+    make_phy,
+    phy_names,
 )
 from repro.radio.engine import RadioSimulator, SimulationResult
 from repro.radio.partition import (
     GridPartition,
     PartitionedCollisionPhy,
     PartitionedMultiChannelPhy,
+    PartitionedSinrPhy,
     make_partitioned_phy,
 )
 from repro.radio.messages import (
@@ -64,13 +68,17 @@ __all__ = [
     "MultiChannelPhy",
     "PartitionedCollisionPhy",
     "PartitionedMultiChannelPhy",
+    "PartitionedSinrPhy",
     "PhyModel",
     "ProtocolNode",
     "RadioSimulator",
     "RequestMessage",
     "SimulationResult",
+    "SinrPhy",
     "TraceEvent",
     "TraceRecorder",
     "make_partitioned_phy",
+    "make_phy",
     "message_bits",
+    "phy_names",
 ]

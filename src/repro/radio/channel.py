@@ -76,10 +76,12 @@ __all__ = [
     "MultiChannelPhy",
     "PhyModel",
     "SimulationResult",
+    "SinrPhy",
     "SlotSteppedSimulator",
     "build_csr",
     "csr_arrays",
     "make_phy",
+    "phy_names",
 ]
 
 
@@ -452,13 +454,202 @@ class MultiChannelPhy(PhyModel):
         return candidates
 
 
+class SinrPhy(PhyModel):
+    """Physical-interference (SINR) PHY over the deployment's geometry.
+
+    Where :class:`CollisionPhy` counts transmitting graph neighbors,
+    this model computes each listener's **signal-to-interference-plus-
+    noise ratio** from deployment positions: a transmission from ``v``
+    reaches listener ``u`` with received power
+    ``power * d(v, u) ** -alpha`` (``d`` Euclidean, clamped below by
+    ``min_dist`` so coincident nodes stay finite), and ``u`` decodes
+    ``v`` iff
+
+        ``P_vu / (noise + sum of all other received powers) >= threshold``
+
+    — the standard physical model (cf. *Simple Distributed Delta+1
+    Coloring in the SINR Model*, PAPERS.md).  Two deliberate scoping
+    decisions keep the model composable with the graph-based protocol
+    layer:
+
+    - **Graph-scoped decoding, global interference.**  Only graph
+      neighbors of a transmitter are candidate listeners (the protocol's
+      neighbor semantics — competitor lists, leader association — are
+      graph facts), but the interference sum runs over *every*
+      transmitter in the slot, neighbors or not: distant transmissions
+      the collision model treats as invisible raise the noise floor
+      here, which is exactly the phenomenon the SINR literature models.
+    - **Capture effect.**  A listener touched by several transmitting
+      neighbors decodes anyway if exactly one of them clears the
+      threshold (e.g. one much closer than the rest) — reported as
+      ``count == 1`` with the decoded message.  Zero decodable signals
+      report the touch count with no message (a collision/fade, silent
+      at the protocol level, like Sect. 2's rule); with
+      ``threshold >= 1`` at most one signal can ever clear the bar
+      (two would each need more than half the total received power), so
+      raising the threshold only ever removes receptions — the
+      monotonicity property the Hypothesis suite pins.
+
+    The model consumes **no randomness** — geometry and the slot's
+    transmission set decide everything — so every clause of the module
+    determinism contract holds trivially, and composing ``loss_prob``
+    or block/sparse/partitioned execution changes nothing about which
+    signals decode.
+    """
+
+    name = "sinr"
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 3.0,
+        noise: float = 0.01,
+        threshold: float = 2.0,
+        power: float = 1.0,
+        min_dist: float = 1e-6,
+    ) -> None:
+        if alpha <= 0.0:
+            raise ValueError(f"path-loss exponent alpha must be > 0, got {alpha}")
+        if noise <= 0.0:
+            raise ValueError(f"noise floor must be > 0, got {noise}")
+        if threshold <= 0.0:
+            raise ValueError(f"SINR threshold must be > 0, got {threshold}")
+        if power <= 0.0:
+            raise ValueError(f"transmit power must be > 0, got {power}")
+        if min_dist <= 0.0:
+            raise ValueError(f"min_dist must be > 0, got {min_dist}")
+        self.alpha = float(alpha)
+        self.noise = float(noise)
+        self.threshold = float(threshold)
+        self.power = float(power)
+        self.min_dist = float(min_dist)
+
+    def bind(self, sim: PhyHost) -> None:
+        """Attach to ``sim``; SINR additionally needs node positions."""
+        super().bind(sim)
+        if sim.deployment.positions is None:
+            raise ValueError(
+                "the sinr phy computes path loss from node positions; "
+                f"deployment {sim.deployment.kind!r} has none"
+            )
+        self._pos = np.asarray(sim.deployment.positions, dtype=np.float64)
+        # Per-listener indices into the slot's outbox (neighbor
+        # transmitters only), reset sparsely like _recv_count.
+        self._touching: list[list[int] | None] = [None] * sim.deployment.n
+
+    def _touched(self, outbox: list[tuple[int, Message]]) -> list[int]:
+        """Scatter transmissions onto graph neighbors, recording per
+        listener *which* outbox rows touch it (``_recv_count`` holds the
+        counts).  Ascending listener order; the partitioned subclass
+        replaces only this discovery route."""
+        recv_count = self._recv_count
+        touching = self._touching
+        indptr, indices = self._indptr, self._indices
+        touched: list[int] = []
+        for k, (v, _msg) in enumerate(outbox):
+            for u in indices[indptr[v] : indptr[v + 1]]:
+                if recv_count[u] == 0:
+                    touched.append(u)
+                    touching[u] = [k]
+                else:
+                    rows = touching[u]
+                    assert rows is not None
+                    rows.append(k)
+                recv_count[u] += 1
+        touched.sort()
+        return touched
+
+    def resolve(
+        self, slot: int, outbox: list[tuple[int, Message]]
+    ) -> list[Candidate]:
+        """Per-listener SINR judgement of the slot's transmission set."""
+        if not outbox:
+            return []
+        return self._judge(outbox, self._touched(outbox))
+
+    def _judge(
+        self, outbox: list[tuple[int, Message]], touched: list[int]
+    ) -> list[Candidate]:
+        """Emit candidate rows for the touched listeners (ascending):
+        exactly one neighbor signal above threshold decodes; otherwise
+        the row is a collision/fade carrying the decodable (or touch)
+        count.  Resets the sparse touch state as it goes."""
+        recv_count = self._recv_count
+        touching = self._touching
+        transmitting = self._transmitting
+        nodes = self._nodes
+        pos = self._pos
+        alpha, noise, threshold, power = (
+            self.alpha, self.noise, self.threshold, self.power,
+        )
+        for v, _ in outbox:
+            transmitting[v] = True
+        tx_pos = pos[[v for v, _ in outbox]]  # (m, d): all transmitters
+        candidates: list[Candidate] = []
+        for u in touched:
+            delta = tx_pos - pos[u]
+            # Euclidean in any position dimensionality (UBG deployments
+            # may embed in more than 2 dims), clamped below min_dist.
+            dist = np.maximum(
+                np.sqrt(np.einsum("ij,ij->i", delta, delta)), self.min_dist
+            )
+            gains = power * dist ** -alpha
+            total = float(gains.sum())
+            rows = touching[u]
+            assert rows is not None
+            decodable = -1
+            decodable_count = 0
+            for k in rows:
+                g = float(gains[k])
+                # Interference is everything else on the air, clamped at
+                # zero against float cancellation in ``total - g``.
+                interference = max(total - g, 0.0)
+                if g >= threshold * (noise + interference):
+                    decodable_count += 1
+                    decodable = k
+            eligible = nodes[u].awake and not transmitting[u]
+            if decodable_count == 1:
+                candidates.append((u, 1, outbox[decodable][1], eligible))
+            elif decodable_count == 0:
+                # All touching signals drowned: silent at the protocol
+                # level, recorded as a collision with the touch count.
+                candidates.append((u, int(recv_count[u]), None, eligible))
+            else:
+                candidates.append((u, decodable_count, None, eligible))
+            recv_count[u] = 0
+            touching[u] = None
+        for v, _ in outbox:
+            transmitting[v] = False
+        return candidates
+
+
+#: name -> PHY factory registry; every factory takes the channel count
+#: (only ``multichannel`` uses it).
+_PHY_FACTORIES: dict[str, Callable[[int], PhyModel]] = {  # repro: noqa RPR004 -- name->factory registry populated at import time and read-only thereafter; every entry builds a fresh PHY per call
+    "collision": lambda channels: CollisionPhy(),
+    "multichannel": lambda channels: MultiChannelPhy(channels),
+    "sinr": lambda channels: SinrPhy(),
+}
+
+
+def phy_names() -> tuple[str, ...]:
+    """The registered PHY names, in registration order."""
+    return tuple(_PHY_FACTORIES)
+
+
 def make_phy(name: str, channels: int = 2) -> PhyModel:
-    """PHY factory by CLI/scenario name (``collision`` / ``multichannel``)."""
-    if name == "collision":
-        return CollisionPhy()
-    if name == "multichannel":
-        return MultiChannelPhy(channels)
-    raise ValueError(f"unknown phy {name!r}; pick from ('collision', 'multichannel')")
+    """PHY factory by CLI/scenario name (see :func:`phy_names`).
+
+    Raises a :class:`ValueError` naming the known choices on a bad name
+    (never a bare ``KeyError``).
+    """
+    try:
+        factory = _PHY_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown phy {name!r}; pick from {phy_names()}"
+        ) from None
+    return factory(channels)
 
 
 class SlotSteppedSimulator(ABC):

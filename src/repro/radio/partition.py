@@ -55,6 +55,7 @@ from repro.radio.channel import (
     CollisionPhy,
     MultiChannelPhy,
     PhyModel,
+    SinrPhy,
     build_csr,
 )
 from repro.radio.messages import Message
@@ -63,6 +64,7 @@ __all__ = [
     "GridPartition",
     "PartitionedCollisionPhy",
     "PartitionedMultiChannelPhy",
+    "PartitionedSinrPhy",
     "make_partitioned_phy",
     "scan_tile",
 ]
@@ -300,9 +302,73 @@ class PartitionedMultiChannelPhy(MultiChannelPhy):
         return _resolve_tiles(self, self.partition, outbox, chan)
 
 
-def make_partitioned_phy(partition: GridPartition, channels: int = 1) -> PhyModel:
-    """The partition-aware PHY for a channel count (factory used by
-    :func:`repro.core.protocol.build_simulator`)."""
-    if channels > 1:
-        return PartitionedMultiChannelPhy(channels, partition)
-    return PartitionedCollisionPhy(partition)
+class PartitionedSinrPhy(SinrPhy):
+    """:class:`~repro.radio.channel.SinrPhy` with tile-by-tile listener
+    discovery.
+
+    Only the *touch* step routes through the partition — each tile
+    scatters its CSR sub-block rows onto its owned listeners, and owned
+    sets are disjoint, so merging the per-tile touch lists in ascending
+    listener order reproduces the unpartitioned discovery exactly.  The
+    SINR judgement itself stays global: interference is a sum over the
+    whole slot's transmission set regardless of tile geometry, so it is
+    computed once per listener from the full outbox, exactly as in the
+    unpartitioned model (the conform/test wall pins byte-identity).
+    """
+
+    def __init__(self, partition: GridPartition, **kwargs: float) -> None:
+        super().__init__(**kwargs)
+        self.partition = partition
+
+    def _touched(self, outbox: list[tuple[int, Message]]) -> list[int]:
+        """Per-tile scatter onto owned listeners, merged ascending."""
+        recv_count = self._recv_count
+        touching = self._touching
+        part = self.partition
+        touched: list[int] = []
+        for tid in range(part.tiles):
+            members = part.members[tid]
+            if members.size == 0:
+                continue
+            sub_indptr = part.sub_indptr[tid]
+            sub_indices = part.sub_indices[tid]
+            for k, (v, _msg) in enumerate(outbox):
+                r = int(np.searchsorted(members, v))
+                if r == members.size or members[r] != v:
+                    continue  # no owned neighbor in this tile
+                for u in sub_indices[sub_indptr[r] : sub_indptr[r + 1]]:
+                    if recv_count[u] == 0:
+                        touched.append(u)
+                        touching[u] = [k]
+                    else:
+                        rows = touching[u]
+                        assert rows is not None
+                        rows.append(k)
+                    recv_count[u] += 1
+        # Owned sets partition the nodes, so this is exactly the
+        # unpartitioned ascending listener order.
+        touched.sort()
+        return touched
+
+
+def make_partitioned_phy(
+    partition: GridPartition, channels: int = 1, name: str | None = None
+) -> PhyModel:
+    """The partition-aware PHY for a channel count and PHY name (factory
+    used by :func:`repro.core.protocol.build_simulator`).
+
+    ``name=None`` keeps the historical selection: the multi-channel PHY
+    when ``channels > 1``, else the collision PHY.  Raises a
+    :class:`ValueError` naming the known choices on a bad name.
+    """
+    if name is None:
+        name = "multichannel" if channels > 1 else "collision"
+    if name == "collision":
+        return PartitionedCollisionPhy(partition)
+    if name == "multichannel":
+        return PartitionedMultiChannelPhy(max(channels, 1), partition)
+    if name == "sinr":
+        return PartitionedSinrPhy(partition)
+    raise ValueError(
+        f"unknown phy {name!r}; pick from ('collision', 'multichannel', 'sinr')"
+    )

@@ -51,12 +51,12 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.core.node import UNDECIDED, ColoringNode
+from repro.core.node import ColoringNode
 from repro.core.params import Parameters, suggested_max_slots
 from repro.core.protocol import ColoringResult, build_simulator
-from repro.core.vector_node import BernoulliColoringNode
+from repro.core.strategy import ColoringProtocol, resolve_protocol
 from repro.graphs.deployment import Deployment
-from repro.radio.channel import SimulationResult, SlotSteppedSimulator
+from repro.radio.channel import PhyModel, SimulationResult, SlotSteppedSimulator
 from repro.radio.engine import _DRAW_CHUNK, _FAR, RadioSimulator
 from repro.radio.trace import TraceRecorder
 
@@ -81,7 +81,8 @@ class ReplicaBatchSimulator:
     node_cls:
         Node implementation; must implement the batched interface
         (``tx_prob``/``next_event_slot``/``on_event``/``emit``) — the
-        replica axis exists on the vectorized fast path only.
+        replica axis exists on the vectorized fast path only.  Defaults
+        to the protocol's vectorized node class.
 
     Other keyword arguments mirror :func:`~repro.core.protocol.
     run_coloring` (``trace_level``, ``enforce_message_bits``,
@@ -100,13 +101,23 @@ class ReplicaBatchSimulator:
         trace_level: int = 1,
         enforce_message_bits: bool = False,
         loss_prob: float = 0.0,
-        node_cls: type[ColoringNode] = BernoulliColoringNode,
+        node_cls: type[ColoringNode] | None = None,
         per_node_params: list[Parameters] | None = None,
         channels: int = 1,
         sparse: bool = False,
+        protocol: ColoringProtocol | str | None = None,
+        phy: PhyModel | str | None = None,
     ) -> None:
         if len(seeds) == 0:
             raise ValueError("need at least one replica seed")
+        self.protocol = resolve_protocol(protocol)
+        if node_cls is None:
+            node_cls = self.protocol.node_cls(vectorized=True)
+        if phy is not None and not isinstance(phy, str):
+            raise ValueError(
+                "replica batching binds one PHY per replica; pass the phy "
+                "by name, not as a shared instance"
+            )
         self.deployment = dep
         self.params = params
         self.seeds = [int(s) for s in seeds]
@@ -135,6 +146,8 @@ class ReplicaBatchSimulator:
                 per_node_params=per_node_params,
                 channels=channels,
                 sparse=sparse,
+                protocol=self.protocol,
+                phy=phy,
             )
             assert isinstance(sim, RadioSimulator)
             if not sim.vectorized:
@@ -173,24 +186,27 @@ class ReplicaBatchSimulator:
     def run(self, max_slots: int, *, block: int = 4096) -> list[SimulationResult]:
         """Advance every replica to completion or ``max_slots``.
 
-        Each replica's completion predicate (all nodes decided, the
-        O(1) ``trace.decided`` counter) is checked every slot, so each
-        stops at — and reports — its exact completion slot, just like
-        the solo run loop.  Replicas are advanced span by span
-        (``block`` slots at a time) through the block-stepped fast
-        path; a replica that stops leaves the live set immediately.
+        Each replica's completion predicate (the protocol's
+        :meth:`~repro.core.strategy.ColoringProtocol.completed`; for
+        ``mw05`` the O(1) ``trace.decided`` counter) is checked every
+        slot, so each stops at — and reports — its exact completion
+        slot, just like the solo run loop.  Replicas are advanced span
+        by span (``block`` slots at a time) through the block-stepped
+        fast path; a replica that stops leaves the live set immediately.
         """
         if block < 1:
             raise ValueError(f"block must be >= 1, got {block}")
-        n = self.deployment.n
+        proto = self.protocol
         stops = []
-        for sim in self.sims:
+        for sim, nodes in zip(self.sims, self.node_lists):
             trace = sim.trace
 
             def stop(
-                s: SlotSteppedSimulator, trace: TraceRecorder = trace, n: int = n
+                s: SlotSteppedSimulator,
+                trace: TraceRecorder = trace,
+                nodes: list[ColoringNode] = nodes,
             ) -> bool:
-                return trace.decided >= n
+                return proto.completed(trace, nodes)
 
             stops.append(stop)
         results: list[SimulationResult | None] = [None] * self.replicas
@@ -230,11 +246,13 @@ def run_replicated(
     trace_level: int = 1,
     enforce_message_bits: bool = False,
     loss_prob: float = 0.0,
-    node_cls: type[ColoringNode] = BernoulliColoringNode,
+    node_cls: type[ColoringNode] | None = None,
     per_node_params: list[Parameters] | None = None,
     channels: int = 1,
     block: int = 4096,
     sparse: bool = False,
+    protocol: ColoringProtocol | str | None = None,
+    phy: PhyModel | str | None = None,
 ) -> list[ColoringResult]:
     """Run R replicas of one coloring scenario as a batch.
 
@@ -244,9 +262,11 @@ def run_replicated(
     node_cls=node_cls, ...)`` — the replica axis changes *how* the runs
     execute, never *what* they compute.  Defaults mirror
     :func:`~repro.core.protocol.run_coloring`, except ``node_cls``
-    defaults to the batched
-    :class:`~repro.core.vector_node.BernoulliColoringNode` (the replica
-    axis exists on the vectorized fast path only).
+    defaults to the protocol's *vectorized* node class (the batched
+    :class:`~repro.core.vector_node.BernoulliColoringNode` for both
+    shipped protocols — the replica axis exists on the vectorized fast
+    path only).  ``protocol`` / ``phy`` select the strategy and channel
+    model exactly as in ``run_coloring``.
     """
     if dep.n == 0:
         raise ValueError("cannot color an empty deployment")
@@ -264,19 +284,18 @@ def run_replicated(
         per_node_params=per_node_params,
         channels=channels,
         sparse=sparse,
+        protocol=protocol,
+        phy=phy,
     )
     if max_slots is None:
         wake_max = int(batch.sims[0].wake_slots.max()) if dep.n else 0
         max_slots = suggested_max_slots(params, wake_max) * max(1, channels)
     sim_results = batch.run(max_slots, block=block)
+    proto = batch.protocol
     out: list[ColoringResult] = []
     for r, res in enumerate(sim_results):
         nodes = batch.node_lists[r]
-        colors = np.array([node.color for node in nodes], dtype=np.int64)
-        tcs = np.array(
-            [UNDECIDED if node.tc is None else node.tc for node in nodes],
-            dtype=np.int64,
-        )
+        colors, tcs, completed = proto.finalize(nodes)
         out.append(
             ColoringResult(
                 deployment=dep,
@@ -284,9 +303,10 @@ def run_replicated(
                 colors=colors,
                 tcs=tcs,
                 slots=res.slots,
-                completed=bool((colors != UNDECIDED).all()),
+                completed=completed,
                 trace=res.trace,
                 nodes=nodes,
+                protocol=proto.name,
             )
         )
     return out

@@ -64,12 +64,13 @@ class TestColor:
         assert rc == 0, out
         assert "proper" in out
 
-    def test_channels_rejected_on_unaligned(self):
-        with pytest.raises(ValueError, match="unaligned"):
-            main(
-                ["color", "--n", "20", "--degree", "6", "--seed", "3",
-                 "--unaligned", "--channels", "2"]
-            )
+    def test_channels_rejected_on_unaligned(self, capsys):
+        rc = main(
+            ["color", "--n", "20", "--degree", "6", "--seed", "3",
+             "--unaligned", "--channels", "2"]
+        )
+        assert rc == 2
+        assert "unaligned" in capsys.readouterr().err
 
 
 class TestColorMetrics:
@@ -91,9 +92,10 @@ class TestConform:
         rc = main(["conform", "--quick"])
         out = capsys.readouterr().out
         assert rc == 0, out
-        # 7 cells: classic-vs-vectorized x4, per-slot-vs-blocked x1,
-        # plus the sparse-stepping and partitioned-execution CI cells.
-        assert "7/7 scenarios conform" in out
+        # 9 cells: classic-vs-vectorized x4, per-slot-vs-blocked x1,
+        # the sparse-stepping and partitioned-execution CI cells, plus
+        # the SINR-PHY and mis-protocol smoke cells.
+        assert "9/9 scenarios conform" in out
 
     def test_injected_bug_exits_nonzero_with_report(self, capsys):
         rc = main(["conform", "--quick", "--inject-bug"])
@@ -156,7 +158,7 @@ class TestConform:
 
     def test_rejects_unknown_phy(self):
         with pytest.raises(SystemExit):
-            main(["conform", "--phy", "sinr"])
+            main(["conform", "--phy", "bogus"])
 
 
 class TestExperiment:

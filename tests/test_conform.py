@@ -131,7 +131,7 @@ class TestPhyMatrix:
 
     def test_scenario_phy_validation(self):
         with pytest.raises(ValueError, match="phy"):
-            Scenario(phy="sinr")
+            Scenario(phy="bogus")
         with pytest.raises(ValueError, match="channels"):
             Scenario(channels=0)
         with pytest.raises(ValueError, match="multichannel"):

@@ -24,6 +24,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import BernoulliColoringNode, Parameters, run_coloring
+from repro.core.node import ColoringNode
 from repro.core.protocol import build_simulator
 from repro.graphs import random_udg
 from repro.wakeup import uniform_random
@@ -209,12 +210,14 @@ def test_run_coloring_partitioned_end_to_end():
 
 
 def test_sparse_requires_vectorized_path():
-    """sparse / partitions on the classic node class is a clear error,
-    not silent dense execution."""
+    """sparse / partitions on an explicitly classic node class is a
+    clear error, not silent dense execution; with no node_cls the
+    protocol supplies its batched class and the sparse path engages."""
     dep = random_udg(8, expected_degree=4, seed=1)
+    params = Parameters.practical(8, 4, 5, 18)
     with pytest.raises(ValueError, match="vectorized"):
-        build_simulator(dep, Parameters.practical(8, 4, 5, 18), seed=0, sparse=True)
+        build_simulator(dep, params, seed=0, sparse=True, node_cls=ColoringNode)
     with pytest.raises(ValueError, match="vectorized"):
-        build_simulator(
-            dep, Parameters.practical(8, 4, 5, 18), seed=0, partitions=4
-        )
+        build_simulator(dep, params, seed=0, partitions=4, node_cls=ColoringNode)
+    sim, _ = build_simulator(dep, params, seed=0, sparse=True)
+    assert sim.vectorized
